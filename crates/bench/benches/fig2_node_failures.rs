@@ -1,0 +1,49 @@
+//! Figure 2 bench: regenerate the simultaneous-failure curves, then time
+//! the two kernels that dominate it — tunnel-survival evaluation and the
+//! real onion transit a spot check performs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::collections::HashSet;
+
+use bench::{announce, bench_scale};
+use tap_id::Id;
+use tap_sim::experiments::{node_failures, Testbed};
+
+fn bench_fig2(c: &mut Criterion) {
+    let scale = bench_scale();
+    announce(&node_failures::run(&scale));
+
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(20);
+
+    // Kernel 1: the per-tunnel survival predicate over a 20% dead set.
+    let tb = Testbed::build(scale.nodes, scale.tunnels, 3, 5, 1);
+    let dead: HashSet<Id> = tb
+        .overlay
+        .ids()
+        .enumerate()
+        .filter_map(|(i, id)| (i % 5 == 0).then_some(id))
+        .collect();
+    let hop_lists: Vec<Vec<Id>> = tb.tunnels.iter().map(|t| t.hop_ids()).collect();
+    group.bench_function("survival_predicate_200_tunnels", |b| {
+        b.iter(|| {
+            hop_lists
+                .iter()
+                .filter(|h| node_failures::tunnel_broken(&tb.thas, h, &dead))
+                .count()
+        })
+    });
+
+    // Kernel 2: the whole figure at bench scale.
+    group.bench_function("whole_figure_quick", |b| {
+        b.iter_batched(
+            || scale,
+            |s| node_failures::run(&s),
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

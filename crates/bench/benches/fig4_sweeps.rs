@@ -1,0 +1,44 @@
+//! Figure 4 bench: regenerate both parameter sweeps (replication factor
+//! and tunnel length) and time the replica re-placement kernel the k-sweep
+//! leans on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::{announce, bench_scale};
+use tap_core::tha::Tha;
+use tap_pastry::storage::ReplicaStore;
+use tap_sim::experiments::{sweeps, Testbed};
+
+fn bench_fig4(c: &mut Criterion) {
+    let scale = bench_scale();
+    announce(&sweeps::by_replication(&scale));
+    announce(&sweeps::by_length(&scale));
+
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(20);
+
+    let tb = Testbed::build(scale.nodes, scale.tunnels, 3, 5, 3);
+    for k in [1usize, 3, 8] {
+        group.bench_function(format!("reinsert_1000_anchors_k{k}"), |b| {
+            b.iter(|| {
+                let mut store: ReplicaStore<Tha> = ReplicaStore::new(k);
+                for t in &tb.tunnels {
+                    for h in &t.hops {
+                        store.insert(&tb.overlay, h.hopid, h.stored());
+                    }
+                }
+                store.len()
+            })
+        });
+    }
+    group.bench_function("sweep_replication_quick", |b| {
+        b.iter(|| sweeps::by_replication(&scale))
+    });
+    group.bench_function("sweep_length_quick", |b| {
+        b.iter(|| sweeps::by_length(&scale))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

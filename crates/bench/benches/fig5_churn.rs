@@ -1,0 +1,40 @@
+//! Figure 5 bench: regenerate the churn decay curves and time the
+//! replication manager's churn handling (the experiment's inner loop).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use bench::{announce, bench_scale};
+use tap_sim::experiments::{churn, Testbed};
+
+fn bench_fig5(c: &mut Criterion) {
+    let scale = bench_scale();
+    announce(&churn::run(&scale));
+
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+
+    // Kernel: one full churn event (leave with repair + join with
+    // rebalance) against a populated store.
+    group.bench_function("one_churn_event_with_repair", |b| {
+        b.iter_batched(
+            || Testbed::build(400, 150, 3, 5, 4),
+            |mut tb| {
+                let victim = tb.overlay.random_node(&mut tb.rng).unwrap();
+                tb.overlay.remove_node(victim);
+                tb.thas.on_node_removed(&tb.overlay, victim);
+                let id = tb.overlay.add_random_node(&mut tb.rng);
+                tb.thas.on_node_added(&tb.overlay, id);
+                tb.thas.len()
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    group.bench_function("whole_figure_quick", |b| {
+        b.iter(|| churn::run(&scale))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

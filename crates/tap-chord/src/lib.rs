@@ -1,0 +1,35 @@
+//! # tap-chord — a Chord substrate for TAP
+//!
+//! The TAP paper claims its tunneling "can be easily adapted to other
+//! systems" and cites Chord first (§3, §8). This crate makes the claim
+//! concrete: a from-scratch Chord (Stoica et al., SIGCOMM 2001) that
+//! implements `tap-pastry`'s [`tap_pastry::KeyRouter`] substrate trait, so every piece
+//! of TAP — THA replication, tunnel transit, retrieval, reply blocks —
+//! runs over it unchanged (see `tests/portability.rs` at the workspace
+//! root).
+//!
+//! What changes between the substrates, and what TAP needs from each:
+//!
+//! | | Pastry | Chord |
+//! |---|---|---|
+//! | responsibility | numerically closest nodeid | `successor(key)` |
+//! | replica set | k closest (both directions) | k successors (DHash-style) |
+//! | routing state | prefix table + leaf set | finger table + successor list |
+//! | hop count | `log_{2^b} N` | `½ log₂ N` expected |
+//!
+//! The failover property TAP rests on holds identically: after any
+//! failures, the new `successor(key)` is the first *live* entry of the old
+//! successor list, so a key's new responsible node already holds a replica
+//! unless all `k` replica holders died at once.
+//!
+//! Maintenance mirrors the Pastry crate's approach (and the paper's own
+//! methodology): successor lists are repaired eagerly on membership
+//! change — installing the converged result of Chord's `stabilize()` —
+//! while fingers are repaired lazily when routing trips over a dead one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod overlay;
+
+pub use overlay::{ChordConfig, ChordNode, ChordOverlay};

@@ -1,0 +1,264 @@
+//! "Current tunneling": the fixed-node baseline TAP is measured against.
+//!
+//! In Crowds/Tarzan/MorphMix-style systems an anonymous path is a sequence
+//! of *specific nodes*; each relay knows its successor by address and holds
+//! a session key. The paper's Figure 2 baseline is exactly this: "a path
+//! fails if one of its mixes leaves the system" (§1). The layered crypto is
+//! identical to TAP's — only the naming of hops differs (node identity vs.
+//! hopid), which is the entire point of the comparison.
+
+use rand::Rng;
+use tap_crypto::{onion, SymmetricKey};
+use tap_id::Id;
+use tap_pastry::Overlay;
+
+use crate::wire::{Destination, HopHeader};
+
+/// A fixed-node tunnel: the baseline's path of specific relays.
+#[derive(Debug, Clone)]
+pub struct FixedTunnel {
+    relays: Vec<(Id, SymmetricKey)>,
+}
+
+/// Why a fixed tunnel could not carry a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FixedTunnelError {
+    /// A relay on the path has left/failed; the tunnel is dead.
+    RelayDown {
+        /// The failed relay.
+        node: Id,
+    },
+    /// A layer failed to open (tampering).
+    BadLayer {
+        /// The relay whose layer failed.
+        node: Id,
+    },
+    /// The final destination is dead.
+    DeadDestination {
+        /// The dead destination node.
+        node: Id,
+    },
+}
+
+impl std::fmt::Display for FixedTunnelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FixedTunnelError::RelayDown { node } => write!(f, "relay {node:?} is down"),
+            FixedTunnelError::BadLayer { node } => write!(f, "bad layer at {node:?}"),
+            FixedTunnelError::DeadDestination { node } => {
+                write!(f, "destination {node:?} is dead")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FixedTunnelError {}
+
+impl FixedTunnel {
+    /// Build a tunnel through `l` distinct random live relays, excluding
+    /// `initiator`. Each relay gets a fresh session key (established
+    /// out-of-band in the baseline systems; we just mint it).
+    pub fn form_random<R: Rng + ?Sized>(
+        rng: &mut R,
+        overlay: &Overlay,
+        initiator: Id,
+        l: usize,
+    ) -> Option<FixedTunnel> {
+        if overlay.len() <= l {
+            return None;
+        }
+        let mut relays = Vec::with_capacity(l);
+        let mut used = std::collections::HashSet::new();
+        used.insert(initiator);
+        while relays.len() < l {
+            let n = overlay.random_node(rng)?;
+            if used.insert(n) {
+                relays.push((n, SymmetricKey::generate(rng)));
+            }
+        }
+        Some(FixedTunnel { relays })
+    }
+
+    /// The relay node ids, in path order.
+    pub fn relay_ids(&self) -> Vec<Id> {
+        self.relays.iter().map(|(n, _)| *n).collect()
+    }
+
+    /// Tunnel length.
+    pub fn len(&self) -> usize {
+        self.relays.len()
+    }
+
+    /// Fixed tunnels are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether every relay is still alive — the baseline's fragility in one
+    /// line: this is an AND over `l` node lifetimes.
+    pub fn intact(&self, overlay: &Overlay) -> bool {
+        self.relays.iter().all(|(n, _)| overlay.is_live(*n))
+    }
+
+    /// Build the layered onion for `core` to `dest` (headers name the next
+    /// *node*, not a hopid — encoded in the same header format with the
+    /// node id in the `next_hop` position).
+    pub fn build_onion<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        dest: Destination,
+        core: &[u8],
+    ) -> Vec<u8> {
+        let layers: Vec<_> = self
+            .relays
+            .iter()
+            .enumerate()
+            .map(|(i, (_, key))| {
+                let header = if i + 1 < self.relays.len() {
+                    HopHeader::Forward {
+                        next_hop: self.relays[i + 1].0,
+                        hint: None,
+                    }
+                } else {
+                    HopHeader::Deliver { dest }
+                };
+                (*key, header.encode())
+            })
+            .collect();
+        onion::wrap(rng, &layers, core)
+    }
+
+    /// Carry a message through the tunnel. Fails the moment any relay is
+    /// dead — no failover exists in the baseline.
+    pub fn drive(
+        &self,
+        overlay: &Overlay,
+        onion_bytes: Vec<u8>,
+    ) -> Result<(Id, Vec<u8>), FixedTunnelError> {
+        let mut cursor = onion_bytes;
+        for (i, (node, key)) in self.relays.iter().enumerate() {
+            if !overlay.is_live(*node) {
+                return Err(FixedTunnelError::RelayDown { node: *node });
+            }
+            let layer =
+                onion::peel(key, &cursor).map_err(|_| FixedTunnelError::BadLayer { node: *node })?;
+            let header = HopHeader::decode(&layer.header)
+                .map_err(|_| FixedTunnelError::BadLayer { node: *node })?;
+            cursor = layer.inner;
+            match header {
+                HopHeader::Forward { next_hop, .. } => {
+                    debug_assert_eq!(next_hop, self.relays[i + 1].0);
+                }
+                HopHeader::Deliver { dest } => {
+                    let d = match dest {
+                        Destination::Node(n) => n,
+                        Destination::KeyRoot(k) => {
+                            // The baseline has no DHT semantics of its own;
+                            // resolve via the same oracle.
+                            overlay
+                                .owner_of(k)
+                                .ok_or(FixedTunnelError::DeadDestination { node: k })?
+                        }
+                    };
+                    if !overlay.is_live(d) {
+                        return Err(FixedTunnelError::DeadDestination { node: d });
+                    }
+                    return Ok((d, cursor));
+                }
+            }
+        }
+        unreachable!("the innermost layer always carries a Deliver header")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tap_pastry::PastryConfig;
+
+    fn fixture(n: usize, seed: u64) -> (Overlay, StdRng, Id) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ov = Overlay::new(PastryConfig::paper_defaults());
+        for _ in 0..n {
+            ov.add_random_node(&mut rng);
+        }
+        let init = ov.random_node(&mut rng).unwrap();
+        (ov, rng, init)
+    }
+
+    #[test]
+    fn intact_tunnel_delivers() {
+        let (ov, mut rng, init) = fixture(100, 1);
+        let t = FixedTunnel::form_random(&mut rng, &ov, init, 5).unwrap();
+        assert!(t.intact(&ov));
+        let dest = ov.random_node(&mut rng).unwrap();
+        let onion = t.build_onion(&mut rng, Destination::Node(dest), b"payload");
+        let (node, core) = t.drive(&ov, onion).unwrap();
+        assert_eq!(node, dest);
+        assert_eq!(core, b"payload");
+    }
+
+    #[test]
+    fn single_relay_failure_kills_tunnel() {
+        let (mut ov, mut rng, init) = fixture(100, 2);
+        let t = FixedTunnel::form_random(&mut rng, &ov, init, 5).unwrap();
+        let victim = t.relay_ids()[2];
+        ov.remove_node(victim);
+        assert!(!t.intact(&ov));
+        let dest = loop {
+            let d = ov.random_node(&mut rng).unwrap();
+            if d != victim {
+                break d;
+            }
+        };
+        let onion = t.build_onion(&mut rng, Destination::Node(dest), b"x");
+        assert_eq!(
+            t.drive(&ov, onion),
+            Err(FixedTunnelError::RelayDown { node: victim })
+        );
+    }
+
+    #[test]
+    fn relays_are_distinct_and_exclude_initiator() {
+        let (ov, mut rng, init) = fixture(50, 3);
+        for _ in 0..20 {
+            let t = FixedTunnel::form_random(&mut rng, &ov, init, 5).unwrap();
+            let ids = t.relay_ids();
+            let set: std::collections::HashSet<_> = ids.iter().collect();
+            assert_eq!(set.len(), 5);
+            assert!(!ids.contains(&init));
+        }
+    }
+
+    #[test]
+    fn overlay_too_small_for_tunnel() {
+        let (ov, mut rng, init) = fixture(3, 4);
+        assert!(FixedTunnel::form_random(&mut rng, &ov, init, 5).is_none());
+    }
+
+    #[test]
+    fn failure_probability_matches_closed_form() {
+        // P(tunnel dies) = 1 - (1-p)^l for independent relay failures —
+        // the analytic curve behind the Fig. 2 baseline.
+        let (mut ov, mut rng, init) = fixture(1000, 5);
+        let tunnels: Vec<_> = (0..400)
+            .map(|_| FixedTunnel::form_random(&mut rng, &ov, init, 5).unwrap())
+            .collect();
+        // Fail 20% of nodes (sparing the initiator for simplicity).
+        let ids: Vec<Id> = ov.ids().filter(|i| *i != init).collect();
+        for (i, id) in ids.iter().enumerate() {
+            if i % 5 == 0 {
+                ov.remove_node(*id);
+            }
+        }
+        let dead = tunnels.iter().filter(|t| !t.intact(&ov)).count();
+        let rate = dead as f64 / tunnels.len() as f64;
+        let expect = 1.0 - 0.8f64.powi(5); // ≈ 0.672
+        assert!(
+            (rate - expect).abs() < 0.12,
+            "empirical {rate:.3} vs analytic {expect:.3}"
+        );
+    }
+}

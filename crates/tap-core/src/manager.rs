@@ -1,0 +1,347 @@
+//! Tunnel lifecycle management: probing, failure detection, and periodic
+//! refresh.
+//!
+//! The paper leaves two maintenance duties to the user: "TAP does not have
+//! a mechanism to detect corrupted/malicious tunnels. It requires users to
+//! reform their tunnels periodically against colluding malicious nodes"
+//! (§9), and its own Fig. 5 concludes that "users should refresh their
+//! tunnels periodically to reduce the risk of having their anonymity
+//! compromised" (§7.2). [`TunnelManager`] packages both duties:
+//!
+//! * **liveness probing** — each tick, every active tunnel carries a probe
+//!   to a random key root; a [`TransitError::ThaLost`] (all replicas of a
+//!   hop gone) retires and replaces the tunnel immediately;
+//! * **age-based refresh** — tunnels older than the policy's `max_age`
+//!   are rotated even while healthy, bounding how long a pooled-THA
+//!   adversary can exploit any one tunnel;
+//! * **anchor-pool upkeep** — the pool of deployed-but-unused anchors is
+//!   replenished before it runs dry, so replacements never block.
+
+use tap_id::Id;
+
+use crate::system::TapSystem;
+use crate::transit::{self, TransitError, TransitOptions};
+use crate::tunnel::Tunnel;
+use crate::wire::Destination;
+
+/// Maintenance policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RefreshPolicy {
+    /// Retire tunnels after this many ticks even if healthy. The Fig. 5
+    /// refresh corresponds to `1`; `u64::MAX` disables aging.
+    pub max_age: u64,
+    /// Send a liveness probe through each tunnel every tick.
+    pub probe: bool,
+    /// Keep at least this many unused anchors deployed.
+    pub min_pool: usize,
+    /// How many anchors to deploy when the pool runs low.
+    pub replenish_batch: usize,
+}
+
+impl Default for RefreshPolicy {
+    fn default() -> Self {
+        RefreshPolicy {
+            max_age: 10,
+            probe: true,
+            min_pool: 10,
+            replenish_batch: 10,
+        }
+    }
+}
+
+/// An active tunnel under management.
+#[derive(Debug, Clone)]
+pub struct ManagedTunnel {
+    /// The tunnel itself.
+    pub tunnel: Tunnel,
+    /// Tick at which it was formed.
+    pub created_at: u64,
+    /// Probes it has survived.
+    pub probes_survived: u64,
+}
+
+/// Counters describing what the manager has done.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ManagerStats {
+    /// Probes sent in total.
+    pub probes_sent: u64,
+    /// Probes that found a broken tunnel.
+    pub probe_failures: u64,
+    /// Tunnels retired because of age.
+    pub refreshed_by_age: u64,
+    /// Tunnels retired because a probe failed.
+    pub replaced_after_failure: u64,
+    /// Tunnels formed (initial + replacements).
+    pub tunnels_formed: u64,
+    /// Anchors deployed by pool upkeep.
+    pub anchors_deployed: u64,
+    /// Times a replacement could not be formed (pool exhausted and
+    /// replenishment failed) — should stay zero in a healthy system.
+    pub formation_failures: u64,
+}
+
+/// Automatic tunnel maintenance for one user node.
+#[derive(Debug)]
+pub struct TunnelManager {
+    owner: Id,
+    policy: RefreshPolicy,
+    target: usize,
+    tick: u64,
+    active: Vec<ManagedTunnel>,
+    /// Running counters.
+    pub stats: ManagerStats,
+}
+
+impl TunnelManager {
+    /// A manager for `owner` maintaining `target` live tunnels.
+    pub fn new(owner: Id, target: usize, policy: RefreshPolicy) -> Self {
+        assert!(target >= 1, "managing zero tunnels is pointless");
+        TunnelManager {
+            owner,
+            policy,
+            target,
+            tick: 0,
+            active: Vec::new(),
+            stats: ManagerStats::default(),
+        }
+    }
+
+    /// The tunnels currently under management.
+    pub fn active(&self) -> &[ManagedTunnel] {
+        &self.active
+    }
+
+    /// The manager's owner node.
+    pub fn owner(&self) -> Id {
+        self.owner
+    }
+
+    /// Current tick counter.
+    pub fn now(&self) -> u64 {
+        self.tick
+    }
+
+    /// One maintenance round: replenish the anchor pool, retire aged
+    /// tunnels, probe the rest, replace casualties, top up to the target
+    /// count. Call once per application-defined time unit.
+    pub fn tick(&mut self, sys: &mut TapSystem) {
+        self.tick += 1;
+        self.replenish_pool(sys);
+
+        // Age-based refresh (§7.2): retire before probing — an aged tunnel
+        // is rotated even if it still works.
+        let max_age = self.policy.max_age;
+        let tick = self.tick;
+        let mut retired = Vec::new();
+        self.active.retain(|mt| {
+            if tick.saturating_sub(mt.created_at) >= max_age {
+                retired.push(mt.tunnel.clone());
+                false
+            } else {
+                true
+            }
+        });
+        for t in retired {
+            sys.teardown_tunnel(&t);
+            self.stats.refreshed_by_age += 1;
+        }
+
+        // Probe survivors (§9's missing detection mechanism).
+        if self.policy.probe {
+            let mut broken = Vec::new();
+            for (i, mt) in self.active.iter_mut().enumerate() {
+                self.stats.probes_sent += 1;
+                let probe_key = Id::random(&mut sys.rng);
+                let onion = mt.tunnel.build_onion(
+                    &mut sys.rng,
+                    Destination::KeyRoot(probe_key),
+                    b"probe",
+                    None,
+                );
+                match transit::drive(
+                    &mut sys.overlay,
+                    &sys.thas,
+                    self.owner,
+                    mt.tunnel.entry_hopid(),
+                    onion,
+                    TransitOptions::default(),
+                ) {
+                    Ok(_) => mt.probes_survived += 1,
+                    Err(TransitError::ThaLost { .. } | TransitError::BadLayer { .. }) => {
+                        self.stats.probe_failures += 1;
+                        broken.push(i);
+                    }
+                    // Routing trouble is transient; don't churn the tunnel.
+                    Err(_) => {}
+                }
+            }
+            for i in broken.into_iter().rev() {
+                let mt = self.active.remove(i);
+                // Best-effort teardown: surviving hops' anchors deleted.
+                sys.teardown_tunnel(&mt.tunnel);
+                self.stats.replaced_after_failure += 1;
+            }
+        }
+
+        // Top up to target.
+        while self.active.len() < self.target {
+            if !self.form_one(sys) {
+                self.stats.formation_failures += 1;
+                break;
+            }
+        }
+    }
+
+    fn replenish_pool(&mut self, sys: &mut TapSystem) {
+        let pool = sys.anchor_pool(self.owner).len();
+        if pool < self.policy.min_pool {
+            let deployed =
+                sys.deploy_anchors_direct(self.owner, self.policy.replenish_batch);
+            self.stats.anchors_deployed += deployed as u64;
+        }
+    }
+
+    fn form_one(&mut self, sys: &mut TapSystem) -> bool {
+        // Ensure the pool can cover one tunnel.
+        if sys.anchor_pool(self.owner).len() < sys.config.tunnel_length {
+            self.replenish_pool(sys);
+        }
+        match sys.form_tunnel(self.owner) {
+            Some(t) => {
+                self.active.push(ManagedTunnel {
+                    tunnel: t,
+                    created_at: self.tick,
+                    probes_survived: 0,
+                });
+                self.stats.tunnels_formed += 1;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemConfig;
+
+    fn setup(n: usize, seed: u64, policy: RefreshPolicy) -> (TapSystem, TunnelManager) {
+        let mut sys = TapSystem::bootstrap(SystemConfig::paper_defaults(), n, seed);
+        let owner = sys.random_node();
+        sys.deploy_anchors_direct(owner, 20);
+        let mgr = TunnelManager::new(owner, 2, policy);
+        (sys, mgr)
+    }
+
+    #[test]
+    fn forms_up_to_target_and_probes() {
+        let (mut sys, mut mgr) = setup(200, 1, RefreshPolicy::default());
+        mgr.tick(&mut sys);
+        assert_eq!(mgr.active().len(), 2);
+        assert_eq!(mgr.stats.tunnels_formed, 2);
+        mgr.tick(&mut sys);
+        assert_eq!(mgr.stats.probes_sent, 2, "both tunnels probed on tick 2");
+        assert_eq!(mgr.stats.probe_failures, 0);
+        assert!(mgr.active().iter().all(|t| t.probes_survived >= 1));
+    }
+
+    #[test]
+    fn detects_and_replaces_broken_tunnels() {
+        let (mut sys, mut mgr) = setup(250, 2, RefreshPolicy::default());
+        mgr.tick(&mut sys);
+        let victim_hop = mgr.active()[0].tunnel.hop_ids()[1];
+        // Kill every replica holder of that hop — no repair.
+        for holder in sys.thas.holders(victim_hop).to_vec() {
+            if holder != mgr.owner() {
+                sys.fail_node(holder, false);
+            }
+        }
+        let before = mgr.stats.tunnels_formed;
+        mgr.tick(&mut sys);
+        assert_eq!(mgr.stats.probe_failures, 1, "the dead hop must be noticed");
+        assert_eq!(mgr.stats.replaced_after_failure, 1);
+        assert_eq!(mgr.active().len(), 2, "replacement formed");
+        assert!(mgr.stats.tunnels_formed > before);
+        // The replacement does not reuse the dead hop.
+        assert!(mgr
+            .active()
+            .iter()
+            .all(|t| !t.tunnel.hop_ids().contains(&victim_hop)));
+    }
+
+    #[test]
+    fn age_based_refresh_rotates_hops() {
+        let policy = RefreshPolicy {
+            max_age: 3,
+            ..RefreshPolicy::default()
+        };
+        let (mut sys, mut mgr) = setup(200, 3, policy);
+        mgr.tick(&mut sys);
+        let original: Vec<Id> = mgr.active()[0].tunnel.hop_ids();
+        for _ in 0..4 {
+            mgr.tick(&mut sys);
+        }
+        assert!(mgr.stats.refreshed_by_age >= 2, "both tunnels aged out");
+        let current: Vec<Id> = mgr.active()[0].tunnel.hop_ids();
+        assert_ne!(original, current, "rotation must change the hop set");
+        // Retired anchors were deleted from the store.
+        for h in original {
+            assert!(sys.thas.get(h).is_none(), "old anchor {h:?} still stored");
+        }
+    }
+
+    #[test]
+    fn pool_replenishes_automatically() {
+        let policy = RefreshPolicy {
+            max_age: 1, // rotate every tick: heavy anchor consumption
+            ..RefreshPolicy::default()
+        };
+        let (mut sys, mut mgr) = setup(200, 4, policy);
+        for _ in 0..6 {
+            mgr.tick(&mut sys);
+            assert_eq!(mgr.active().len(), 2, "target always met");
+        }
+        assert!(mgr.stats.anchors_deployed > 0, "upkeep had to deploy");
+        assert_eq!(mgr.stats.formation_failures, 0);
+    }
+
+    #[test]
+    fn survives_sustained_churn() {
+        let (mut sys, mut mgr) = setup(300, 5, RefreshPolicy::default());
+        for round in 0..15 {
+            for _ in 0..6 {
+                let victim = loop {
+                    let v = sys.random_node();
+                    if v != mgr.owner() {
+                        break v;
+                    }
+                };
+                sys.fail_node(victim, true);
+                sys.add_node();
+            }
+            mgr.tick(&mut sys);
+            assert_eq!(mgr.active().len(), 2, "round {round}");
+        }
+        // With replica repair running, probes should almost never fail.
+        assert!(
+            mgr.stats.probe_failures <= 2,
+            "repairing churn should rarely break tunnels: {:?}",
+            mgr.stats
+        );
+    }
+
+    #[test]
+    fn disabled_probing_skips_probes() {
+        let policy = RefreshPolicy {
+            probe: false,
+            max_age: u64::MAX,
+            ..RefreshPolicy::default()
+        };
+        let (mut sys, mut mgr) = setup(150, 6, policy);
+        mgr.tick(&mut sys);
+        mgr.tick(&mut sys);
+        assert_eq!(mgr.stats.probes_sent, 0);
+        assert_eq!(mgr.stats.refreshed_by_age, 0);
+    }
+}

@@ -1,0 +1,441 @@
+//! Timed, message-driven tunnel transit over the emulated network.
+//!
+//! [`crate::transit::drive`] resolves a tunnel logically (who peels what, which
+//! node serves each hop); this module runs the same traversal as *actual
+//! wire traffic* through `tap-netsim`: every overlay hop is a
+//! store-and-forward message whose size is the real onion byte count plus
+//! the application payload. Two fidelity details fall out for free:
+//!
+//! * **per-layer shrinkage** — each peel removes one layer's sealing
+//!   overhead plus its header, so early hops carry more bytes than late
+//!   ones, exactly as a real deployment would;
+//! * **serialization vs. propagation** — transfer time composes from the
+//!   1.5 Mb/s uplink serialization and the per-link latency, the §7.3 cost
+//!   model, with the NIC queueing the emulator enforces.
+//!
+//! The Fig. 6 experiment replays precomputed paths for throughput; this
+//! driver exists to validate that shortcut (see the agreement test) and to
+//! let applications measure end-to-end seconds for single flows.
+
+use std::collections::HashMap;
+
+use tap_crypto::onion;
+use tap_id::Id;
+use tap_netsim::latency::LatencyModel;
+use tap_netsim::{EndpointId, Event, Network, SimDuration, SimTime};
+use tap_pastry::storage::ReplicaStore;
+use tap_pastry::{KeyRouter, RouteError};
+
+use crate::tha::Tha;
+use crate::transit::{Delivery, TransitError, TransitOptions};
+use crate::wire::{Destination, HopHeader};
+
+/// Maps overlay nodes onto network endpoints and owns the event loop.
+pub struct NetDriver<L: LatencyModel> {
+    net: Network<u64, L>,
+    endpoint_of: HashMap<Id, EndpointId>,
+}
+
+/// Timing gathered by a timed traversal.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimedReport {
+    /// Wall-clock (virtual) duration of the whole traversal.
+    pub elapsed: SimDuration,
+    /// Total bytes that crossed links.
+    pub bytes_on_wire: u64,
+    /// Overlay hops taken.
+    pub overlay_hops: usize,
+    /// Tunnel hops resolved.
+    pub hops_resolved: usize,
+}
+
+impl<L: LatencyModel> NetDriver<L> {
+    /// Wrap a network; endpoints are registered lazily per node.
+    pub fn new(net: Network<u64, L>) -> Self {
+        NetDriver {
+            net,
+            endpoint_of: HashMap::new(),
+        }
+    }
+
+    /// Current virtual time of the underlying network.
+    pub fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    /// The endpoint for `node`, creating it on first use.
+    fn endpoint(&mut self, node: Id) -> EndpointId {
+        match self.endpoint_of.get(&node) {
+            Some(e) => *e,
+            None => {
+                let e = self.net.add_endpoint();
+                self.endpoint_of.insert(node, e);
+                e
+            }
+        }
+    }
+
+    /// Ship `bytes` along consecutive node pairs of `path`, store-and-
+    /// forward, and return when the last byte arrives.
+    fn ship(&mut self, path: &[Id], bytes: u64) -> Result<(SimDuration, usize), TransitError> {
+        let mut eps = Vec::with_capacity(path.len());
+        for n in path {
+            let e = self.endpoint(*n);
+            if eps.last() != Some(&e) {
+                eps.push(e);
+            }
+        }
+        if eps.len() < 2 {
+            return Ok((SimDuration::ZERO, 0));
+        }
+        let start = self.net.now();
+        self.net.send(eps[0], eps[1], bytes, 1);
+        while let Some(ev) = self.net.next_event() {
+            if let Event::Message(m) = ev {
+                let idx = m.payload as usize;
+                if idx + 1 < eps.len() {
+                    self.net.send(eps[idx], eps[idx + 1], bytes, (idx + 1) as u64);
+                } else {
+                    return Ok((m.delivered_at - start, eps.len() - 1));
+                }
+            }
+        }
+        unreachable!("a live store-and-forward chain always completes")
+    }
+
+    /// Drive `onion_bytes` (plus `payload_bytes` of application data
+    /// travelling alongside, e.g. a file on a reply path) through the
+    /// tunnel starting at `entry_hop`, as timed wire traffic.
+    #[allow(clippy::too_many_arguments)]
+    pub fn drive_timed(
+        &mut self,
+        overlay: &mut impl KeyRouter,
+        thas: &ReplicaStore<Tha>,
+        from: Id,
+        entry_hop: Id,
+        mut onion_bytes: Vec<u8>,
+        payload_bytes: u64,
+        options: TransitOptions,
+    ) -> Result<(Delivery, TimedReport), TransitError> {
+        let mut report = TimedReport::default();
+        let start = self.net.now();
+        let mut current = from;
+        let mut hop = entry_hop;
+        let mut hint: Option<Id> = None;
+
+        loop {
+            let root = overlay.owner_of(hop).ok_or(RouteError::EmptyOverlay)?;
+            let wire = onion_bytes.len() as u64 + payload_bytes;
+
+            let segment: Vec<Id> = match (options.use_hints, hint) {
+                (true, Some(h)) if overlay.is_live(h) && overlay.owner_of(hop) == Some(h) => {
+                    vec![current, h]
+                }
+                _ => overlay.route_path(current, hop)?,
+            };
+            let (_, hops) = self.ship(&segment, wire)?;
+            report.overlay_hops += hops;
+            report.bytes_on_wire += wire * hops as u64;
+
+            let Some(record) = thas.get(hop) else {
+                report.elapsed = self.net.now() - start;
+                return Ok((
+                    Delivery::AtAnchorlessRoot {
+                        node: root,
+                        residue: onion_bytes,
+                    },
+                    report,
+                ));
+            };
+            if !record.holders.contains(&root) {
+                return Err(TransitError::ThaLost { hopid: hop });
+            }
+            current = root;
+
+            let layer = onion::peel(&record.value.key, &onion_bytes)
+                .map_err(|_| TransitError::BadLayer { hopid: hop })?;
+            let header = HopHeader::decode(&layer.header)
+                .map_err(|_| TransitError::BadLayer { hopid: hop })?;
+            report.hops_resolved += 1;
+            onion_bytes = layer.inner;
+
+            match header {
+                HopHeader::Forward {
+                    next_hop,
+                    hint: next_hint,
+                } => {
+                    hop = next_hop;
+                    hint = next_hint;
+                }
+                HopHeader::Deliver { dest } => {
+                    let wire = onion_bytes.len() as u64 + payload_bytes;
+                    let node = match dest {
+                        Destination::Node(n) => {
+                            if !overlay.is_live(n) {
+                                return Err(TransitError::DeadDestination { node: n });
+                            }
+                            let (_, hops) = self.ship(&[current, n], wire)?;
+                            report.overlay_hops += hops;
+                            report.bytes_on_wire += wire * hops as u64;
+                            n
+                        }
+                        Destination::KeyRoot(key) => {
+                            let path = overlay.route_path(current, key)?;
+                            let root = *path.last().expect("non-empty path");
+                            let (_, hops) = self.ship(&path, wire)?;
+                            report.overlay_hops += hops;
+                            report.bytes_on_wire += wire * hops as u64;
+                            root
+                        }
+                    };
+                    report.elapsed = self.net.now() - start;
+                    return Ok((
+                        Delivery::ToDestination {
+                            node,
+                            core: onion_bytes,
+                        },
+                        report,
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tha::ThaFactory;
+    use crate::transit;
+    use crate::tunnel::Tunnel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tap_netsim::latency::UniformLatency;
+    use tap_netsim::NetworkConfig;
+    use tap_pastry::{Overlay, PastryConfig};
+
+    struct Fx {
+        overlay: Overlay,
+        thas: ReplicaStore<Tha>,
+        rng: StdRng,
+        initiator: Id,
+        driver: NetDriver<UniformLatency>,
+    }
+
+    fn fixture(n: usize, seed: u64) -> Fx {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut overlay = Overlay::new(PastryConfig::paper_defaults());
+        for _ in 0..n {
+            overlay.add_random_node(&mut rng);
+        }
+        let initiator = overlay.random_node(&mut rng).unwrap();
+        let driver = NetDriver::new(Network::new(
+            NetworkConfig::paper_defaults(),
+            UniformLatency::paper(seed),
+        ));
+        Fx {
+            overlay,
+            thas: ReplicaStore::new(3),
+            rng,
+            initiator,
+            driver,
+        }
+    }
+
+    fn tunnel(fx: &mut Fx, l: usize) -> Tunnel {
+        let mut f = ThaFactory::new(&mut fx.rng, fx.initiator);
+        let mut hops = Vec::new();
+        while hops.len() < l {
+            let s = f.next(&mut fx.rng);
+            if fx.thas.insert(&fx.overlay, s.hopid, s.stored()) {
+                hops.push(s);
+            }
+        }
+        Tunnel::new(hops)
+    }
+
+    #[test]
+    fn timed_transit_delivers_and_times() {
+        let mut fx = fixture(200, 1);
+        let t = tunnel(&mut fx, 3);
+        let dest = loop {
+            let d = fx.overlay.random_node(&mut fx.rng).unwrap();
+            if d != fx.initiator {
+                break d;
+            }
+        };
+        let onion = t.build_onion(&mut fx.rng, Destination::Node(dest), b"payload", None);
+        let (delivery, timed) = fx
+            .driver
+            .drive_timed(
+                &mut fx.overlay,
+                &fx.thas,
+                fx.initiator,
+                t.entry_hopid(),
+                onion,
+                0,
+                TransitOptions::default(),
+            )
+            .unwrap();
+        match delivery {
+            Delivery::ToDestination { node, core } => {
+                assert_eq!(node, dest);
+                assert_eq!(core, b"payload");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(timed.hops_resolved, 3);
+        assert!(timed.elapsed > SimDuration::ZERO);
+        assert!(timed.bytes_on_wire > 0);
+        // Every overlay hop needs ≥ 1ms propagation.
+        assert!(timed.elapsed >= SimDuration::from_millis(timed.overlay_hops as u64));
+    }
+
+    #[test]
+    fn agrees_with_logical_transit_on_path_shape() {
+        // drive_timed and transit::drive must agree on which nodes carry
+        // the message and on the terminal delivery.
+        let mut fx = fixture(250, 2);
+        let t = tunnel(&mut fx, 4);
+        let dest = loop {
+            let d = fx.overlay.random_node(&mut fx.rng).unwrap();
+            if d != fx.initiator {
+                break d;
+            }
+        };
+        let onion = t.build_onion(&mut fx.rng, Destination::Node(dest), b"m", None);
+        let (d_logical, logical) = transit::drive(
+            &mut fx.overlay,
+            &fx.thas,
+            fx.initiator,
+            t.entry_hopid(),
+            onion.clone(),
+            TransitOptions::default(),
+        )
+        .unwrap();
+        let (d_timed, timed) = fx
+            .driver
+            .drive_timed(
+                &mut fx.overlay,
+                &fx.thas,
+                fx.initiator,
+                t.entry_hopid(),
+                onion,
+                0,
+                TransitOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(d_logical, d_timed);
+        assert_eq!(logical.hops_resolved, timed.hops_resolved);
+        assert_eq!(logical.overlay_hops, timed.overlay_hops);
+    }
+
+    #[test]
+    fn onion_shrinks_on_the_wire() {
+        // With zero application payload, per-hop wire bytes must strictly
+        // decrease (one sealing layer + header gone per peel) — verify via
+        // total accounting: bytes_on_wire < first_len × overlay_hops.
+        let mut fx = fixture(200, 3);
+        let t = tunnel(&mut fx, 5);
+        let dest = loop {
+            let d = fx.overlay.random_node(&mut fx.rng).unwrap();
+            if d != fx.initiator {
+                break d;
+            }
+        };
+        let onion = t.build_onion(&mut fx.rng, Destination::Node(dest), b"x", None);
+        let outer_len = onion.len() as u64;
+        let (_, timed) = fx
+            .driver
+            .drive_timed(
+                &mut fx.overlay,
+                &fx.thas,
+                fx.initiator,
+                t.entry_hopid(),
+                onion,
+                0,
+                TransitOptions::default(),
+            )
+            .unwrap();
+        assert!(
+            timed.bytes_on_wire < outer_len * timed.overlay_hops as u64,
+            "later hops must carry strictly fewer bytes"
+        );
+    }
+
+    #[test]
+    fn hints_cut_wall_clock_time() {
+        let mut fx = fixture(400, 4);
+        let t = tunnel(&mut fx, 5);
+        let mut hints = crate::transit::HintCache::default();
+        hints.refresh(&fx.overlay, &t.hop_ids());
+        let dest = loop {
+            let d = fx.overlay.random_node(&mut fx.rng).unwrap();
+            if d != fx.initiator {
+                break d;
+            }
+        };
+        // 2 Mb file travelling alongside the onion, as in Fig. 6.
+        let onion_plain = t.build_onion(&mut fx.rng, Destination::Node(dest), b"f", None);
+        let (_, plain) = fx
+            .driver
+            .drive_timed(
+                &mut fx.overlay,
+                &fx.thas,
+                fx.initiator,
+                t.entry_hopid(),
+                onion_plain,
+                250_000,
+                TransitOptions::default(),
+            )
+            .unwrap();
+        let onion_hinted =
+            t.build_onion(&mut fx.rng, Destination::Node(dest), b"f", Some(&hints));
+        let (_, hinted) = fx
+            .driver
+            .drive_timed(
+                &mut fx.overlay,
+                &fx.thas,
+                fx.initiator,
+                t.entry_hopid(),
+                onion_hinted,
+                250_000,
+                TransitOptions { use_hints: true },
+            )
+            .unwrap();
+        assert!(
+            hinted.elapsed < plain.elapsed,
+            "hints must cut seconds: {} vs {}",
+            hinted.elapsed,
+            plain.elapsed
+        );
+        assert!(hinted.bytes_on_wire < plain.bytes_on_wire);
+    }
+
+    #[test]
+    fn broken_tunnel_reported_before_wasting_bandwidth() {
+        let mut fx = fixture(200, 5);
+        let t = tunnel(&mut fx, 3);
+        let victim = t.hop_ids()[0];
+        for holder in fx.thas.holders(victim).to_vec() {
+            if holder != fx.initiator {
+                fx.overlay.remove_node(holder);
+            }
+        }
+        let dest = fx.overlay.random_node(&mut fx.rng).unwrap();
+        let onion = t.build_onion(&mut fx.rng, Destination::Node(dest), b"x", None);
+        let err = fx
+            .driver
+            .drive_timed(
+                &mut fx.overlay,
+                &fx.thas,
+                fx.initiator,
+                t.entry_hopid(),
+                onion,
+                250_000,
+                TransitOptions::default(),
+            )
+            .unwrap_err();
+        assert_eq!(err, TransitError::ThaLost { hopid: victim });
+    }
+}

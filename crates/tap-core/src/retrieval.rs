@@ -1,0 +1,456 @@
+//! Anonymous file retrieval — the paper's sample application (§4).
+//!
+//! The initiator `I` builds a forward tunnel `T_f` and a *distinct* reply
+//! tunnel `T_r`, then sends
+//! `M = {hid_2, {hid_3, {fid, K_I, T_r}_K3}_K2}_K1` through `T_f`. The tail
+//! hands `(fid, K_I, T_r)` to the responder `R` (the root of `fid`), which
+//! returns `{f}_Kf` and `{Kf}_{K_I}` back through `T_r`. Using different
+//! tunnels for request and reply "makes it harder for an adversary to
+//! correlate a request with a reply".
+
+use rand::Rng;
+
+use tap_crypto::{KeyPair, PublicKey, SealedBox, SymmetricKey};
+use tap_id::{Id, ID_BYTES};
+use tap_pastry::storage::ReplicaStore;
+use tap_pastry::{KeyRouter, Overlay};
+
+use crate::tha::Tha;
+use crate::transit::{self, Delivery, TransitError, TransitOptions, TransitReport};
+use crate::tunnel::{ReplyTunnel, Tunnel};
+use crate::wire::Destination;
+
+/// A file stored in the PAST-style file store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredFile {
+    /// The file contents.
+    pub data: Vec<u8>,
+}
+
+/// Why a retrieval failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetrievalError {
+    /// The forward tunnel broke.
+    Forward(TransitError),
+    /// The reply tunnel broke.
+    Reply(TransitError),
+    /// The responder does not hold the requested file.
+    NoSuchFile {
+        /// The requested file id.
+        fid: Id,
+    },
+    /// A message failed to parse or decrypt end-to-end.
+    Corrupt,
+    /// The reply surfaced at a node other than the initiator.
+    Misdelivered {
+        /// Where the reply actually landed.
+        node: Id,
+    },
+}
+
+impl std::fmt::Display for RetrievalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RetrievalError::Forward(e) => write!(f, "forward tunnel failed: {e}"),
+            RetrievalError::Reply(e) => write!(f, "reply tunnel failed: {e}"),
+            RetrievalError::NoSuchFile { fid } => write!(f, "no file stored under {fid:?}"),
+            RetrievalError::Corrupt => write!(f, "retrieval message corrupt"),
+            RetrievalError::Misdelivered { node } => {
+                write!(f, "reply landed at {node:?}, not the initiator")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RetrievalError {}
+
+/// Metrics from one retrieval.
+#[derive(Debug, Clone, Default)]
+pub struct RetrievalReport {
+    /// Transit metrics of the request along `T_f` (plus the tail → R hop).
+    pub forward: TransitReport,
+    /// Transit metrics of the reply along `T_r`.
+    pub reply: TransitReport,
+    /// Size of the encrypted file payload on the reply path, in bytes.
+    pub reply_bytes: usize,
+}
+
+/// The request core `(fid, K_I, T_r)` and its codec.
+struct Request {
+    fid: Id,
+    reply_key: PublicKey,
+    reply_entry: Id,
+    reply_onion: Vec<u8>,
+}
+
+impl Request {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(self.fid.as_bytes());
+        out.extend_from_slice(&self.reply_key.0);
+        out.extend_from_slice(self.reply_entry.as_bytes());
+        out.extend_from_slice(&(self.reply_onion.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.reply_onion);
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Request> {
+        let (fid, rest) = bytes.split_at_checked(ID_BYTES)?;
+        let (pk, rest) = rest.split_at_checked(32)?;
+        let (entry, rest) = rest.split_at_checked(ID_BYTES)?;
+        let (len_b, rest) = rest.split_at_checked(4)?;
+        let len = u32::from_be_bytes([len_b[0], len_b[1], len_b[2], len_b[3]]) as usize;
+        (rest.len() == len).then(|| Request {
+            fid: Id::from_bytes(fid.try_into().expect("split_at_checked sized")),
+            reply_key: PublicKey(pk.try_into().expect("sized")),
+            reply_entry: Id::from_bytes(entry.try_into().expect("sized")),
+            reply_onion: rest.to_vec(),
+        })
+    }
+}
+
+/// The reply payload `({f}_Kf, {Kf}_{K_I})` and its codec.
+struct Reply {
+    file_ct: Vec<u8>,
+    key_box: SealedBox,
+}
+
+impl Reply {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.file_ct.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.file_ct);
+        out.extend_from_slice(&self.key_box.ephemeral.0);
+        out.extend_from_slice(&(self.key_box.sealed.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.key_box.sealed);
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Reply> {
+        let (len_b, rest) = bytes.split_at_checked(4)?;
+        let flen = u32::from_be_bytes([len_b[0], len_b[1], len_b[2], len_b[3]]) as usize;
+        let (file_ct, rest) = rest.split_at_checked(flen)?;
+        let (eph, rest) = rest.split_at_checked(32)?;
+        let (len_b, rest) = rest.split_at_checked(4)?;
+        let slen = u32::from_be_bytes([len_b[0], len_b[1], len_b[2], len_b[3]]) as usize;
+        (rest.len() == slen).then(|| Reply {
+            file_ct: file_ct.to_vec(),
+            key_box: SealedBox {
+                ephemeral: PublicKey(eph.try_into().expect("sized")),
+                sealed: rest.to_vec(),
+            },
+        })
+    }
+}
+
+/// Everything the retrieval protocol needs from the environment. Generic
+/// over the substrate (`O` defaults to Pastry's [`Overlay`]; the Chord
+/// substrate drops in unchanged).
+pub struct RetrievalContext<'a, O: KeyRouter = Overlay> {
+    /// The overlay (mutated only through lazy routing repair).
+    pub overlay: &'a mut O,
+    /// The THA store.
+    pub thas: &'a ReplicaStore<Tha>,
+    /// The file store.
+    pub files: &'a ReplicaStore<StoredFile>,
+}
+
+/// Run the full §4 protocol: request `fid` through `fwd`, receive the file
+/// back through `rev` terminating at `bid`. Returns the plaintext file.
+#[allow(clippy::too_many_arguments)]
+pub fn retrieve<R: Rng + ?Sized, O: KeyRouter>(
+    rng: &mut R,
+    ctx: &mut RetrievalContext<'_, O>,
+    initiator: Id,
+    fid: Id,
+    fwd: &Tunnel,
+    rev: &Tunnel,
+    bid: Id,
+    hints: Option<&crate::transit::HintCache>,
+    options: TransitOptions,
+) -> Result<(Vec<u8>, RetrievalReport), RetrievalError> {
+    // The temporary keypair K_I — fresh per retrieval so replies cannot be
+    // linked across requests.
+    let k_i = KeyPair::generate(rng);
+    let reply_tunnel = ReplyTunnel::build(rng, rev, bid, 96, hints);
+
+    let request = Request {
+        fid,
+        reply_key: k_i.public(),
+        reply_entry: reply_tunnel.entry_hopid,
+        reply_onion: reply_tunnel.onion.clone(),
+    };
+    let onion = fwd.build_onion(rng, Destination::KeyRoot(fid), &request.encode(), hints);
+
+    // ---- forward path ----
+    let (delivery, forward_report) = transit::drive(
+        ctx.overlay,
+        ctx.thas,
+        initiator,
+        fwd.entry_hopid(),
+        onion,
+        options,
+    )
+    .map_err(RetrievalError::Forward)?;
+    let (responder, request_bytes) = match delivery {
+        Delivery::ToDestination { node, core } => (node, core),
+        Delivery::AtAnchorlessRoot { .. } => return Err(RetrievalError::Corrupt),
+    };
+
+    // ---- responder R ----
+    let request = Request::decode(&request_bytes).ok_or(RetrievalError::Corrupt)?;
+    let record = ctx
+        .files
+        .get(request.fid)
+        .ok_or(RetrievalError::NoSuchFile { fid: request.fid })?;
+    debug_assert!(
+        record.holders.contains(&responder),
+        "the forward tunnel delivered to the fid root, which must hold it"
+    );
+    let k_f = SymmetricKey::generate(rng);
+    let reply = Reply {
+        file_ct: k_f.seal(rng, &record.value.data),
+        key_box: SealedBox::seal(rng, &request.reply_key, k_f.as_bytes()),
+    };
+    let reply_bytes = reply.encode();
+
+    // ---- reply path ----
+    let (delivery, reply_report) = transit::drive(
+        ctx.overlay,
+        ctx.thas,
+        responder,
+        request.reply_entry,
+        request.reply_onion,
+        options,
+    )
+    .map_err(RetrievalError::Reply)?;
+    let landed = match delivery {
+        Delivery::AtAnchorlessRoot { node, .. } => node,
+        Delivery::ToDestination { .. } => return Err(RetrievalError::Corrupt),
+    };
+    if landed != initiator {
+        return Err(RetrievalError::Misdelivered { node: landed });
+    }
+
+    // ---- initiator decrypts ----
+    let reply = Reply::decode(&reply_bytes).ok_or(RetrievalError::Corrupt)?;
+    let k_f_bytes = k_i.open(&reply.key_box).map_err(|_| RetrievalError::Corrupt)?;
+    let k_f_arr: [u8; 32] = k_f_bytes.try_into().map_err(|_| RetrievalError::Corrupt)?;
+    let k_f = SymmetricKey::from_bytes(k_f_arr);
+    let file = k_f
+        .open(&reply.file_ct)
+        .map_err(|_| RetrievalError::Corrupt)?;
+
+    let report = RetrievalReport {
+        reply_bytes: reply_bytes.len(),
+        forward: forward_report,
+        reply: reply_report,
+    };
+    Ok((file, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tha::ThaFactory;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tap_pastry::PastryConfig;
+
+    struct Fx {
+        overlay: Overlay,
+        thas: ReplicaStore<Tha>,
+        files: ReplicaStore<StoredFile>,
+        rng: StdRng,
+        initiator: Id,
+        factory: ThaFactory,
+    }
+
+    fn fixture(n: usize, seed: u64) -> Fx {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut overlay = Overlay::new(PastryConfig::paper_defaults());
+        for _ in 0..n {
+            overlay.add_random_node(&mut rng);
+        }
+        let initiator = overlay.random_node(&mut rng).unwrap();
+        let factory = ThaFactory::new(&mut rng, initiator);
+        Fx {
+            overlay,
+            thas: ReplicaStore::new(3),
+            files: ReplicaStore::new(3),
+            rng,
+            initiator,
+            factory,
+        }
+    }
+
+    fn tunnel(fx: &mut Fx, l: usize) -> Tunnel {
+        let mut pool = Vec::new();
+        for _ in 0..(l * 4) {
+            let s = fx.factory.next(&mut fx.rng);
+            fx.thas.insert(&fx.overlay, s.hopid, s.stored());
+            pool.push(s);
+        }
+        Tunnel::form_scattered(&mut fx.rng, &pool, l, 4).unwrap()
+    }
+
+    fn store_file(fx: &mut Fx, data: &[u8]) -> Id {
+        let fid = Id::random(&mut fx.rng);
+        fx.files.insert(
+            &fx.overlay,
+            fid,
+            StoredFile {
+                data: data.to_vec(),
+            },
+        );
+        fid
+    }
+
+    fn bid_of(fx: &Fx) -> Id {
+        fx.initiator.wrapping_add(Id::from_u64(1))
+    }
+
+    #[test]
+    fn end_to_end_retrieval() {
+        let mut fx = fixture(200, 1);
+        let fwd = tunnel(&mut fx, 3);
+        let rev = tunnel(&mut fx, 3);
+        let fid = store_file(&mut fx, b"the secret document");
+        let bid = bid_of(&fx);
+        let initiator = fx.initiator;
+        let mut ctx = RetrievalContext {
+            overlay: &mut fx.overlay,
+            thas: &fx.thas,
+            files: &fx.files,
+        };
+        let (file, report) = retrieve(
+            &mut fx.rng,
+            &mut ctx,
+            initiator,
+            fid,
+            &fwd,
+            &rev,
+            bid,
+            None,
+            TransitOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(file, b"the secret document");
+        assert_eq!(report.forward.hops_resolved, 3);
+        assert_eq!(report.reply.hops_resolved, 3);
+        assert!(report.reply_bytes > b"the secret document".len());
+    }
+
+    #[test]
+    fn request_and_reply_use_disjoint_hops() {
+        let mut fx = fixture(200, 2);
+        let fwd = tunnel(&mut fx, 3);
+        let rev = tunnel(&mut fx, 3);
+        let fwd_set: std::collections::HashSet<Id> = fwd.hop_ids().into_iter().collect();
+        assert!(
+            rev.hop_ids().iter().all(|h| !fwd_set.contains(h)),
+            "forward and reply tunnels must not share THAs"
+        );
+    }
+
+    #[test]
+    fn missing_file_reported() {
+        let mut fx = fixture(150, 3);
+        let fwd = tunnel(&mut fx, 3);
+        let rev = tunnel(&mut fx, 3);
+        let fid = Id::random(&mut fx.rng);
+        let bid = bid_of(&fx);
+        let initiator = fx.initiator;
+        let mut ctx = RetrievalContext {
+            overlay: &mut fx.overlay,
+            thas: &fx.thas,
+            files: &fx.files,
+        };
+        let err = retrieve(
+            &mut fx.rng,
+            &mut ctx,
+            initiator,
+            fid,
+            &fwd,
+            &rev,
+            bid,
+            None,
+            TransitOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, RetrievalError::NoSuchFile { fid });
+    }
+
+    #[test]
+    fn retrieval_survives_hop_failure_on_each_path() {
+        let mut fx = fixture(250, 4);
+        let fwd = tunnel(&mut fx, 3);
+        let rev = tunnel(&mut fx, 3);
+        let fid = store_file(&mut fx, b"resilient");
+        // Kill the current hop node of one forward hop and one reply hop.
+        for hop in [fwd.hop_ids()[1], rev.hop_ids()[1]] {
+            let root = fx.overlay.owner_of(hop).unwrap();
+            if root != fx.initiator {
+                fx.overlay.remove_node(root);
+            }
+        }
+        let bid = bid_of(&fx);
+        let initiator = fx.initiator;
+        let mut ctx = RetrievalContext {
+            overlay: &mut fx.overlay,
+            thas: &fx.thas,
+            files: &fx.files,
+        };
+        match retrieve(
+            &mut fx.rng,
+            &mut ctx,
+            initiator,
+            fid,
+            &fwd,
+            &rev,
+            bid,
+            None,
+            TransitOptions::default(),
+        ) {
+            Ok((file, _)) => assert_eq!(file, b"resilient"),
+            // Legal only if the killed node happened to hold the fid file
+            // replica set's root... which retrieval resolves post-failure,
+            // so a clean NoSuchFile/transit error would indicate a real
+            // bug. Assert success strictly.
+            Err(e) => panic!("retrieval should have survived: {e}"),
+        }
+    }
+
+    #[test]
+    fn hinted_retrieval_works_and_is_cheaper() {
+        let mut fx = fixture(300, 5);
+        let fwd = tunnel(&mut fx, 5);
+        let rev = tunnel(&mut fx, 5);
+        let fid = store_file(&mut fx, b"speedy");
+        let bid = bid_of(&fx);
+        let initiator = fx.initiator;
+        // Hints are embedded by the onion builder; the §5 path also needs
+        // them inside the tunnels, which `TapSystem::retrieve_file`
+        // exercises. Here we verify plain vs. hinted transit parity at the
+        // protocol level (hints off = baseline).
+        let mut ctx = RetrievalContext {
+            overlay: &mut fx.overlay,
+            thas: &fx.thas,
+            files: &fx.files,
+        };
+        let (file, report) = retrieve(
+            &mut fx.rng,
+            &mut ctx,
+            initiator,
+            fid,
+            &fwd,
+            &rev,
+            bid,
+            None,
+            TransitOptions { use_hints: true },
+        )
+        .unwrap();
+        assert_eq!(file, b"speedy");
+        assert!(report.forward.overlay_hops >= 5);
+    }
+}

@@ -1,0 +1,208 @@
+//! Per-hop routing headers carried inside onion layers.
+//!
+//! Each peeled layer reveals exactly one [`HopHeader`]: either "forward the
+//! remaining onion to the hop anchored at `next_hop`" (optionally with a
+//! cached address hint, §5) or "you are the tail — deliver the core to this
+//! destination" (§2, Fig. 1: the tail node relays `m` to `D`).
+//!
+//! The encoding is a tiny hand-rolled tag-length format: the simulator
+//! moves millions of layers, and the format doubles as the wire-size model
+//! for the bandwidth simulation, so it is kept byte-exact and dependency
+//! free.
+
+use tap_id::{Id, ID_BYTES};
+
+/// Where the tail hop should deliver the core payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Destination {
+    /// A specific node (the paper's destination server `D`).
+    Node(Id),
+    /// The root of a DHT key (PAST-style: "the node whose nodeid is
+    /// numerically closest to the fileid").
+    KeyRoot(Id),
+}
+
+/// The routing header revealed to one tunnel hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HopHeader {
+    /// Forward the inner onion to the tunnel hop node of `next_hop`.
+    Forward {
+        /// The next tunnel hop's hopid.
+        next_hop: Id,
+        /// The §5 optimization: the cached identity of the node believed to
+        /// currently serve `next_hop`. Stale hints fall back to routing.
+        hint: Option<Id>,
+    },
+    /// This hop is the tail: deliver the core payload.
+    Deliver {
+        /// Final destination of the core payload.
+        dest: Destination,
+    },
+}
+
+const TAG_FORWARD: u8 = 1;
+const TAG_FORWARD_HINTED: u8 = 2;
+const TAG_DELIVER_NODE: u8 = 3;
+const TAG_DELIVER_KEY: u8 = 4;
+
+/// Header decode failure (malformed or truncated bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeaderError;
+
+impl std::fmt::Display for HeaderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed hop header")
+    }
+}
+
+impl std::error::Error for HeaderError {}
+
+impl HopHeader {
+    /// Serialize to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            HopHeader::Forward {
+                next_hop,
+                hint: None,
+            } => {
+                let mut out = Vec::with_capacity(1 + ID_BYTES);
+                out.push(TAG_FORWARD);
+                out.extend_from_slice(next_hop.as_bytes());
+                out
+            }
+            HopHeader::Forward {
+                next_hop,
+                hint: Some(h),
+            } => {
+                let mut out = Vec::with_capacity(1 + 2 * ID_BYTES);
+                out.push(TAG_FORWARD_HINTED);
+                out.extend_from_slice(next_hop.as_bytes());
+                out.extend_from_slice(h.as_bytes());
+                out
+            }
+            HopHeader::Deliver { dest } => {
+                let (tag, id) = match dest {
+                    Destination::Node(id) => (TAG_DELIVER_NODE, id),
+                    Destination::KeyRoot(id) => (TAG_DELIVER_KEY, id),
+                };
+                let mut out = Vec::with_capacity(1 + ID_BYTES);
+                out.push(tag);
+                out.extend_from_slice(id.as_bytes());
+                out
+            }
+        }
+    }
+
+    /// Parse from bytes.
+    pub fn decode(bytes: &[u8]) -> Result<HopHeader, HeaderError> {
+        let (&tag, rest) = bytes.split_first().ok_or(HeaderError)?;
+        let take_id = |off: usize| -> Result<Id, HeaderError> {
+            let s = rest.get(off..off + ID_BYTES).ok_or(HeaderError)?;
+            let mut b = [0u8; ID_BYTES];
+            b.copy_from_slice(s);
+            Ok(Id::from_bytes(b))
+        };
+        let want_len = |n: usize| -> Result<(), HeaderError> {
+            if rest.len() == n {
+                Ok(())
+            } else {
+                Err(HeaderError)
+            }
+        };
+        match tag {
+            TAG_FORWARD => {
+                want_len(ID_BYTES)?;
+                Ok(HopHeader::Forward {
+                    next_hop: take_id(0)?,
+                    hint: None,
+                })
+            }
+            TAG_FORWARD_HINTED => {
+                want_len(2 * ID_BYTES)?;
+                Ok(HopHeader::Forward {
+                    next_hop: take_id(0)?,
+                    hint: Some(take_id(ID_BYTES)?),
+                })
+            }
+            TAG_DELIVER_NODE => {
+                want_len(ID_BYTES)?;
+                Ok(HopHeader::Deliver {
+                    dest: Destination::Node(take_id(0)?),
+                })
+            }
+            TAG_DELIVER_KEY => {
+                want_len(ID_BYTES)?;
+                Ok(HopHeader::Deliver {
+                    dest: Destination::KeyRoot(take_id(0)?),
+                })
+            }
+            _ => Err(HeaderError),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let cases = [
+            HopHeader::Forward {
+                next_hop: Id::from_u64(1),
+                hint: None,
+            },
+            HopHeader::Forward {
+                next_hop: Id::from_u64(2),
+                hint: Some(Id::from_u64(3)),
+            },
+            HopHeader::Deliver {
+                dest: Destination::Node(Id::from_u64(4)),
+            },
+            HopHeader::Deliver {
+                dest: Destination::KeyRoot(Id::from_u64(5)),
+            },
+        ];
+        for h in cases {
+            assert_eq!(HopHeader::decode(&h.encode()).unwrap(), h);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(HopHeader::decode(&[]).is_err());
+        assert!(HopHeader::decode(&[99]).is_err());
+        assert!(HopHeader::decode(&[TAG_FORWARD, 1, 2]).is_err());
+        // Trailing bytes are rejected (length must be exact).
+        let mut enc = HopHeader::Deliver {
+            dest: Destination::Node(Id::ZERO),
+        }
+        .encode();
+        enc.push(0);
+        assert!(HopHeader::decode(&enc).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(
+            a in any::<[u8; 20]>(),
+            b in any::<[u8; 20]>(),
+            variant in 0u8..4,
+        ) {
+            let (a, b) = (Id::from_bytes(a), Id::from_bytes(b));
+            let h = match variant {
+                0 => HopHeader::Forward { next_hop: a, hint: None },
+                1 => HopHeader::Forward { next_hop: a, hint: Some(b) },
+                2 => HopHeader::Deliver { dest: Destination::Node(a) },
+                _ => HopHeader::Deliver { dest: Destination::KeyRoot(a) },
+            };
+            prop_assert_eq!(HopHeader::decode(&h.encode()).unwrap(), h);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = HopHeader::decode(&bytes);
+        }
+    }
+}

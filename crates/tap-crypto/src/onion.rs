@@ -1,0 +1,263 @@
+//! Layered (onion) encryption — the message format of Fig. 1.
+//!
+//! The initiator produces `{h2, {h3, {D, m}_K3}_K2}_K1`: each layer carries
+//! a routing header for the *next* hop plus the sealed remainder. This
+//! module provides the generic wrap/peel machinery over
+//! [`crate::cipher::SymmetricKey`]s; the TAP crate supplies the concrete
+//! header types.
+//!
+//! Headers are serialized with a tiny length-prefixed framing (no external
+//! serialization dependency on the hot path) so a peel is exactly: one
+//! `open`, split header from remainder, done — the "single symmetric key
+//! operation per message" the paper promises (§4).
+
+use rand::Rng;
+
+use crate::cipher::{CipherError, SymmetricKey};
+
+/// One decrypted layer: the routing header for this hop and the still-sealed
+/// remainder destined for the next hop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeeledLayer {
+    /// This hop's routing header bytes.
+    pub header: Vec<u8>,
+    /// The sealed inner onion (empty at the innermost layer).
+    pub inner: Vec<u8>,
+}
+
+/// Frame `header` and `inner` into one plaintext buffer.
+fn frame(header: &[u8], inner: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + header.len() + inner.len());
+    out.extend_from_slice(&(header.len() as u32).to_be_bytes());
+    out.extend_from_slice(header);
+    out.extend_from_slice(inner);
+    out
+}
+
+/// Split a framed plaintext back into header and inner.
+fn unframe(plain: &[u8]) -> Result<PeeledLayer, OnionError> {
+    if plain.len() < 4 {
+        return Err(OnionError::Malformed);
+    }
+    let hlen = u32::from_be_bytes([plain[0], plain[1], plain[2], plain[3]]) as usize;
+    if plain.len() < 4 + hlen {
+        return Err(OnionError::Malformed);
+    }
+    Ok(PeeledLayer {
+        header: plain[4..4 + hlen].to_vec(),
+        inner: plain[4 + hlen..].to_vec(),
+    })
+}
+
+/// Errors from peeling an onion layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OnionError {
+    /// The layer failed authentication (wrong key or tampering).
+    Crypto(CipherError),
+    /// The decrypted plaintext did not parse as a framed layer.
+    Malformed,
+}
+
+impl From<CipherError> for OnionError {
+    fn from(e: CipherError) -> Self {
+        OnionError::Crypto(e)
+    }
+}
+
+impl std::fmt::Display for OnionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OnionError::Crypto(e) => write!(f, "onion layer crypto failure: {e}"),
+            OnionError::Malformed => write!(f, "onion layer framing malformed"),
+        }
+    }
+}
+
+impl std::error::Error for OnionError {}
+
+/// Build an onion from the inside out.
+///
+/// `layers` is ordered **outermost first** — the same order the message will
+/// traverse hops — where each element is `(key, header)`: the symmetric key
+/// the hop holds and the routing header it should see. `core` is the
+/// innermost payload revealed to the final hop alongside its header.
+///
+/// With hops `[(K1, h1'), (K2, h2'), (K3, h3')]` and core `m` this produces
+/// `{h1', {h2', {h3', m}_K3}_K2}_K1` — matching Fig. 1 when each `hi'` names
+/// the *next* destination.
+pub fn wrap<R: Rng + ?Sized>(
+    rng: &mut R,
+    layers: &[(SymmetricKey, Vec<u8>)],
+    core: &[u8],
+) -> Vec<u8> {
+    assert!(!layers.is_empty(), "an onion needs at least one layer");
+    let mut inner: Vec<u8> = core.to_vec();
+    let mut first = true;
+    for (key, header) in layers.iter().rev() {
+        let plain = if first {
+            first = false;
+            frame(header, &inner)
+        } else {
+            frame(header, &inner)
+        };
+        inner = key.seal(rng, &plain);
+    }
+    inner
+}
+
+/// Peel one layer with `key`, returning this hop's header and the sealed
+/// remainder (the innermost layer's remainder is the core payload).
+pub fn peel(key: &SymmetricKey, onion: &[u8]) -> Result<PeeledLayer, OnionError> {
+    let plain = key.open(onion)?;
+    unframe(&plain)
+}
+
+/// Peel an entire onion with a known key sequence (outermost first),
+/// returning every header plus the core payload. Test/analysis helper: real
+/// hops only ever peel their own single layer.
+pub fn peel_all(
+    keys: &[SymmetricKey],
+    onion: &[u8],
+) -> Result<(Vec<Vec<u8>>, Vec<u8>), OnionError> {
+    let mut headers = Vec::with_capacity(keys.len());
+    let mut cursor = onion.to_vec();
+    for key in keys {
+        let layer = peel(key, &cursor)?;
+        headers.push(layer.header);
+        cursor = layer.inner;
+    }
+    Ok((headers, cursor))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keys(n: usize, seed: u64) -> (Vec<SymmetricKey>, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ks = (0..n).map(|_| SymmetricKey::generate(&mut rng)).collect();
+        (ks, rng)
+    }
+
+    #[test]
+    fn three_hop_onion_matches_fig1() {
+        let (ks, mut rng) = keys(3, 1);
+        let layers: Vec<_> = ks
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (*k, format!("hop-header-{i}").into_bytes()))
+            .collect();
+        let onion = wrap(&mut rng, &layers, b"{D, m}");
+
+        // Hop 1 peels with K1, sees its header, forwards the inner onion.
+        let l1 = peel(&ks[0], &onion).unwrap();
+        assert_eq!(l1.header, b"hop-header-0");
+        let l2 = peel(&ks[1], &l1.inner).unwrap();
+        assert_eq!(l2.header, b"hop-header-1");
+        let l3 = peel(&ks[2], &l2.inner).unwrap();
+        assert_eq!(l3.header, b"hop-header-2");
+        assert_eq!(l3.inner, b"{D, m}");
+    }
+
+    #[test]
+    fn peel_all_agrees_with_sequential_peels() {
+        let (ks, mut rng) = keys(5, 2);
+        let layers: Vec<_> = ks.iter().map(|k| (*k, vec![0xAA; 8])).collect();
+        let onion = wrap(&mut rng, &layers, b"core");
+        let (headers, core) = peel_all(&ks, &onion).unwrap();
+        assert_eq!(headers.len(), 5);
+        assert!(headers.iter().all(|h| h == &vec![0xAA; 8]));
+        assert_eq!(core, b"core");
+    }
+
+    #[test]
+    fn wrong_hop_key_fails_cleanly() {
+        let (ks, mut rng) = keys(2, 3);
+        let layers: Vec<_> = ks.iter().map(|k| (*k, b"h".to_vec())).collect();
+        let onion = wrap(&mut rng, &layers, b"core");
+        // Peeling the outer layer with the inner key must fail.
+        assert!(matches!(
+            peel(&ks[1], &onion),
+            Err(OnionError::Crypto(CipherError::BadTag))
+        ));
+    }
+
+    #[test]
+    fn out_of_order_peeling_fails() {
+        let (ks, mut rng) = keys(3, 4);
+        let layers: Vec<_> = ks.iter().map(|k| (*k, b"h".to_vec())).collect();
+        let onion = wrap(&mut rng, &layers, b"core");
+        let l1 = peel(&ks[0], &onion).unwrap();
+        // Skipping hop 2 and trying hop 3's key on hop 2's layer fails.
+        assert!(peel(&ks[2], &l1.inner).is_err());
+    }
+
+    #[test]
+    fn single_layer_onion() {
+        let (ks, mut rng) = keys(1, 5);
+        let onion = wrap(&mut rng, &[(ks[0], b"only".to_vec())], b"payload");
+        let l = peel(&ks[0], &onion).unwrap();
+        assert_eq!(l.header, b"only");
+        assert_eq!(l.inner, b"payload");
+    }
+
+    #[test]
+    fn empty_header_and_core() {
+        let (ks, mut rng) = keys(2, 6);
+        let layers: Vec<_> = ks.iter().map(|k| (*k, Vec::new())).collect();
+        let onion = wrap(&mut rng, &layers, b"");
+        let (headers, core) = peel_all(&ks, &onion).unwrap();
+        assert!(headers.iter().all(|h| h.is_empty()));
+        assert!(core.is_empty());
+    }
+
+    #[test]
+    fn malformed_frame_detected() {
+        let (ks, mut rng) = keys(1, 7);
+        // Seal a plaintext that claims a longer header than it carries.
+        let mut bogus = 100u32.to_be_bytes().to_vec();
+        bogus.extend_from_slice(b"short");
+        let sealed = ks[0].seal(&mut rng, &bogus);
+        assert_eq!(peel(&ks[0], &sealed), Err(OnionError::Malformed));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_wrap_peel_roundtrip(
+            n in 1usize..6,
+            core in proptest::collection::vec(any::<u8>(), 0..128),
+            headers in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 6),
+            seed in any::<u64>(),
+        ) {
+            let (ks, mut rng) = keys(n, seed);
+            let layers: Vec<_> = ks
+                .iter()
+                .zip(headers.iter())
+                .map(|(k, h)| (*k, h.clone()))
+                .collect();
+            let onion = wrap(&mut rng, &layers, &core);
+            let (got_headers, got_core) = peel_all(&ks, &onion).unwrap();
+            prop_assert_eq!(got_core, core);
+            for (g, h) in got_headers.iter().zip(headers.iter()) {
+                prop_assert_eq!(g, h);
+            }
+        }
+
+        #[test]
+        fn prop_layer_sizes_leak_only_depth(
+            n in 1usize..5,
+            seed in any::<u64>(),
+        ) {
+            // Each layer adds a fixed overhead: size reveals at most the
+            // remaining depth, never the content.
+            let (ks, mut rng) = keys(n, seed);
+            let layers: Vec<_> = ks.iter().map(|k| (*k, vec![7u8; 16])).collect();
+            let a = wrap(&mut rng, &layers, &[0u8; 64]);
+            let b = wrap(&mut rng, &layers, &[1u8; 64]);
+            prop_assert_eq!(a.len(), b.len());
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! X25519 Diffie–Hellman (RFC 7748), from scratch.
+//!
+//! The paper assumes "each node has a pair of private and public keys"
+//! (§3.3) so that a joining node can bootstrap its first anonymous tunnel
+//! with Onion Routing. We realize that PKI with X25519: field arithmetic
+//! over `2^255 - 19` in radix-2^51, a constant-time Montgomery ladder, and
+//! nothing else. Validated against the RFC 7748 §5.2 and §6.1 vectors.
+
+/// A field element mod `2^255 - 19` in five 51-bit limbs.
+///
+/// Invariant maintained between operations: every limb fits comfortably in
+/// 52 bits, so sums of two elements never overflow a `u64` and products fit
+/// the `u128` accumulators in [`mul`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Fe([u64; 5]);
+
+const MASK51: u64 = (1u64 << 51) - 1;
+
+impl Fe {
+    const ZERO: Fe = Fe([0; 5]);
+    const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let load = |off: usize| -> u64 {
+            let mut v = 0u64;
+            for i in 0..8 {
+                v |= (bytes[off + i] as u64) << (8 * i);
+            }
+            v
+        };
+        // Five 51-bit windows of the 255-bit little-endian value
+        // (the top bit of byte 31 is masked off, per RFC 7748 §5).
+        Fe([
+            load(0) & MASK51,
+            (load(6) >> 3) & MASK51,
+            (load(12) >> 6) & MASK51,
+            (load(19) >> 1) & MASK51,
+            (load(24) >> 12) & MASK51,
+        ])
+    }
+
+    fn to_bytes(self) -> [u8; 32] {
+        // Fully reduce into [0, p).
+        let mut t = self.carry().carry().0;
+        // Compute the borrow chain of (t + 19) >> 255 to decide whether
+        // t >= p, then add 19*q and drop the carry out of the top limb.
+        let mut q = (t[0].wrapping_add(19)) >> 51;
+        q = (t[1].wrapping_add(q)) >> 51;
+        q = (t[2].wrapping_add(q)) >> 51;
+        q = (t[3].wrapping_add(q)) >> 51;
+        q = (t[4].wrapping_add(q)) >> 51;
+        t[0] = t[0].wrapping_add(19u64.wrapping_mul(q));
+        let mut carry;
+        carry = t[0] >> 51;
+        t[0] &= MASK51;
+        t[1] = t[1].wrapping_add(carry);
+        carry = t[1] >> 51;
+        t[1] &= MASK51;
+        t[2] = t[2].wrapping_add(carry);
+        carry = t[2] >> 51;
+        t[2] &= MASK51;
+        t[3] = t[3].wrapping_add(carry);
+        carry = t[3] >> 51;
+        t[3] &= MASK51;
+        t[4] = t[4].wrapping_add(carry);
+        t[4] &= MASK51;
+
+        let mut out = [0u8; 32];
+        let mut acc = 0u128;
+        let mut acc_bits = 0u32;
+        let mut idx = 0usize;
+        for limb in t {
+            acc |= (limb as u128) << acc_bits;
+            acc_bits += 51;
+            while acc_bits >= 8 {
+                out[idx] = acc as u8;
+                acc >>= 8;
+                acc_bits -= 8;
+                idx += 1;
+            }
+        }
+        if idx < 32 {
+            out[idx] = acc as u8;
+        }
+        out
+    }
+
+    /// One pass of carry propagation; brings limbs back under ~52 bits.
+    fn carry(self) -> Fe {
+        let mut t = self.0;
+        let mut c: u64;
+        c = t[0] >> 51;
+        t[0] &= MASK51;
+        t[1] += c;
+        c = t[1] >> 51;
+        t[1] &= MASK51;
+        t[2] += c;
+        c = t[2] >> 51;
+        t[2] &= MASK51;
+        t[3] += c;
+        c = t[3] >> 51;
+        t[3] &= MASK51;
+        t[4] += c;
+        c = t[4] >> 51;
+        t[4] &= MASK51;
+        t[0] += c * 19;
+        Fe(t)
+    }
+
+    fn add(self, rhs: Fe) -> Fe {
+        Fe([
+            self.0[0] + rhs.0[0],
+            self.0[1] + rhs.0[1],
+            self.0[2] + rhs.0[2],
+            self.0[3] + rhs.0[3],
+            self.0[4] + rhs.0[4],
+        ])
+        .carry()
+    }
+
+    fn sub(self, rhs: Fe) -> Fe {
+        // Add 2p before subtracting so limbs never underflow.
+        Fe([
+            self.0[0] + 0xfffffffffffda - rhs.0[0],
+            self.0[1] + 0xffffffffffffe - rhs.0[1],
+            self.0[2] + 0xffffffffffffe - rhs.0[2],
+            self.0[3] + 0xffffffffffffe - rhs.0[3],
+            self.0[4] + 0xffffffffffffe - rhs.0[4],
+        ])
+        .carry()
+    }
+
+    fn mul(self, rhs: Fe) -> Fe {
+        let a = &self.0;
+        let b = &rhs.0;
+        let m = |x: u64, y: u64| x as u128 * y as u128;
+        let r0 = m(a[0], b[0])
+            + 19 * (m(a[1], b[4]) + m(a[2], b[3]) + m(a[3], b[2]) + m(a[4], b[1]));
+        let r1 = m(a[0], b[1])
+            + m(a[1], b[0])
+            + 19 * (m(a[2], b[4]) + m(a[3], b[3]) + m(a[4], b[2]));
+        let r2 = m(a[0], b[2])
+            + m(a[1], b[1])
+            + m(a[2], b[0])
+            + 19 * (m(a[3], b[4]) + m(a[4], b[3]));
+        let r3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0])
+            + 19 * m(a[4], b[4]);
+        let r4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
+
+        let mut t = [0u64; 5];
+        let mut c: u128;
+        c = r0 >> 51;
+        t[0] = r0 as u64 & MASK51;
+        let r1 = r1 + c;
+        c = r1 >> 51;
+        t[1] = r1 as u64 & MASK51;
+        let r2 = r2 + c;
+        c = r2 >> 51;
+        t[2] = r2 as u64 & MASK51;
+        let r3 = r3 + c;
+        c = r3 >> 51;
+        t[3] = r3 as u64 & MASK51;
+        let r4 = r4 + c;
+        c = r4 >> 51;
+        t[4] = r4 as u64 & MASK51;
+        t[0] += (c as u64) * 19;
+        Fe(t).carry()
+    }
+
+    fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    /// Multiply by the curve constant `a24 = 121665`.
+    fn mul_small(self, k: u32) -> Fe {
+        let mut t = [0u64; 5];
+        let mut c: u128 = 0;
+        for (out, limb) in t.iter_mut().zip(self.0.iter()) {
+            let v = *limb as u128 * k as u128 + c;
+            *out = v as u64 & MASK51;
+            c = v >> 51;
+        }
+        t[0] += (c as u64) * 19;
+        Fe(t).carry()
+    }
+
+    /// Inversion via Fermat: `self^(p-2)`, p-2 = 2^255 - 21.
+    fn invert(self) -> Fe {
+        // Square-and-multiply over the fixed exponent bits. Constant time
+        // is inherited because the exponent is a public constant.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xeb; // 2^255 - 21, little-endian
+        exp[31] = 0x7f;
+        let mut acc = Fe::ONE;
+        for i in (0..255).rev() {
+            acc = acc.square();
+            if (exp[i / 8] >> (i % 8)) & 1 == 1 {
+                acc = acc.mul(self);
+            }
+        }
+        acc
+    }
+
+    /// Constant-time conditional swap driven by `swap ∈ {0, 1}`.
+    fn cswap(swap: u64, a: &mut Fe, b: &mut Fe) {
+        debug_assert!(swap <= 1);
+        let mask = swap.wrapping_neg();
+        for i in 0..5 {
+            let x = mask & (a.0[i] ^ b.0[i]);
+            a.0[i] ^= x;
+            b.0[i] ^= x;
+        }
+    }
+}
+
+/// Clamp a 32-byte scalar as RFC 7748 §5 prescribes.
+fn clamp(mut k: [u8; 32]) -> [u8; 32] {
+    k[0] &= 248;
+    k[31] &= 127;
+    k[31] |= 64;
+    k
+}
+
+/// The X25519 function: scalar-multiply the point with u-coordinate `u` by
+/// the clamped `scalar`.
+pub fn x25519(scalar: &[u8; 32], u: &[u8; 32]) -> [u8; 32] {
+    let k = clamp(*scalar);
+    let x1 = Fe::from_bytes(u);
+    let mut x2 = Fe::ONE;
+    let mut z2 = Fe::ZERO;
+    let mut x3 = x1;
+    let mut z3 = Fe::ONE;
+    let mut swap = 0u64;
+
+    for t in (0..255).rev() {
+        let kt = ((k[t / 8] >> (t % 8)) & 1) as u64;
+        swap ^= kt;
+        Fe::cswap(swap, &mut x2, &mut x3);
+        Fe::cswap(swap, &mut z2, &mut z3);
+        swap = kt;
+
+        let a = x2.add(z2);
+        let aa = a.square();
+        let b = x2.sub(z2);
+        let bb = b.square();
+        let e = aa.sub(bb);
+        let c = x3.add(z3);
+        let d = x3.sub(z3);
+        let da = d.mul(a);
+        let cb = c.mul(b);
+        x3 = da.add(cb).square();
+        z3 = x1.mul(da.sub(cb).square());
+        x2 = aa.mul(bb);
+        z2 = e.mul(aa.add(e.mul_small(121665)));
+    }
+    Fe::cswap(swap, &mut x2, &mut x3);
+    Fe::cswap(swap, &mut z2, &mut z3);
+    x2.mul(z2.invert()).to_bytes()
+}
+
+/// The canonical base point (u = 9).
+pub const BASEPOINT: [u8; 32] = {
+    let mut b = [0u8; 32];
+    b[0] = 9;
+    b
+};
+
+/// Derive the public key for `scalar`: `X25519(scalar, 9)`.
+pub fn public_key(scalar: &[u8; 32]) -> [u8; 32] {
+    x25519(scalar, &BASEPOINT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex32(s: &str) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..32 {
+            out[i] = u8::from_str_radix(&s[i * 2..i * 2 + 2], 16).unwrap();
+        }
+        out
+    }
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 7748 §5.2 test vector 1.
+    #[test]
+    fn rfc7748_vector1() {
+        let scalar =
+            unhex32("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let u = unhex32("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        assert_eq!(
+            hex(&x25519(&scalar, &u)),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"
+        );
+    }
+
+    // RFC 7748 §5.2 test vector 2.
+    #[test]
+    fn rfc7748_vector2() {
+        let scalar =
+            unhex32("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+        let u = unhex32("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+        assert_eq!(
+            hex(&x25519(&scalar, &u)),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957"
+        );
+    }
+
+    // RFC 7748 §5.2: one iteration of the iterated vector.
+    #[test]
+    fn rfc7748_iterated_once() {
+        let k = unhex32("0900000000000000000000000000000000000000000000000000000000000000");
+        let out = x25519(&k, &k);
+        assert_eq!(
+            hex(&out),
+            "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079"
+        );
+    }
+
+    // RFC 7748 §5.2: a thousand iterations of the iterated vector.
+    #[test]
+    fn rfc7748_iterated_thousand() {
+        let mut k = unhex32("0900000000000000000000000000000000000000000000000000000000000000");
+        let mut u = k;
+        for _ in 0..1000 {
+            let next = x25519(&k, &u);
+            u = k;
+            k = next;
+        }
+        assert_eq!(
+            hex(&k),
+            "684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51"
+        );
+    }
+
+    // RFC 7748 §6.1: the full Diffie–Hellman exchange.
+    #[test]
+    fn rfc7748_dh_exchange() {
+        let alice_priv =
+            unhex32("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+        let bob_priv =
+            unhex32("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+        let alice_pub = public_key(&alice_priv);
+        let bob_pub = public_key(&bob_priv);
+        assert_eq!(
+            hex(&alice_pub),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a"
+        );
+        assert_eq!(
+            hex(&bob_pub),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f"
+        );
+        let k_a = x25519(&alice_priv, &bob_pub);
+        let k_b = x25519(&bob_priv, &alice_pub);
+        assert_eq!(k_a, k_b);
+        assert_eq!(
+            hex(&k_a),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742"
+        );
+    }
+
+    #[test]
+    fn dh_commutes_for_random_keys() {
+        use rand::{rngs::StdRng, RngCore, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..8 {
+            let mut a = [0u8; 32];
+            let mut b = [0u8; 32];
+            rng.fill_bytes(&mut a);
+            rng.fill_bytes(&mut b);
+            let shared_ab = x25519(&a, &public_key(&b));
+            let shared_ba = x25519(&b, &public_key(&a));
+            assert_eq!(shared_ab, shared_ba);
+            assert_ne!(shared_ab, [0u8; 32]);
+        }
+    }
+
+    #[test]
+    fn field_roundtrip() {
+        // to_bytes ∘ from_bytes is the identity on canonical encodings.
+        let cases = [
+            [0u8; 32],
+            {
+                let mut b = [0u8; 32];
+                b[0] = 1;
+                b
+            },
+            unhex32("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c"),
+        ];
+        for c in cases {
+            assert_eq!(Fe::from_bytes(&c).to_bytes(), c);
+        }
+    }
+
+    #[test]
+    fn field_reduces_noncanonical() {
+        // p itself must encode as zero.
+        let mut p = [0xffu8; 32];
+        p[0] = 0xed;
+        p[31] = 0x7f;
+        assert_eq!(Fe::from_bytes(&p).to_bytes(), [0u8; 32]);
+    }
+
+    #[test]
+    fn field_algebra() {
+        let a = Fe::from_bytes(&unhex32(
+            "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcd0f",
+        ));
+        let b = Fe::from_bytes(&unhex32(
+            "fedcba9876543210fedcba9876543210fedcba9876543210fedcba987654320f",
+        ));
+        assert_eq!(a.add(b).sub(b).to_bytes(), a.to_bytes());
+        assert_eq!(a.mul(b).to_bytes(), b.mul(a).to_bytes());
+        assert_eq!(a.mul(a.invert()).to_bytes(), Fe::ONE.to_bytes());
+        assert_eq!(a.square().to_bytes(), a.mul(a).to_bytes());
+    }
+}

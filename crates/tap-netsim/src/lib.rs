@@ -1,0 +1,64 @@
+//! # tap-netsim — deterministic discrete-event network emulation
+//!
+//! The TAP paper evaluates everything on "a network emulation environment,
+//! through which the instances of the node software communicate", with all
+//! peers in a single process (§7). The performance experiment (§7.3) pins
+//! the emulation parameters down precisely:
+//!
+//! > "Each link in the network had a random latency from 1 ms to 230 ms,
+//! > randomly selected in a fashion that approximates an Internet network.
+//! > All links had a simulated bandwidth of 1.5 Mb/s."
+//!
+//! This crate is that environment, rebuilt as a deterministic discrete-event
+//! simulator:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer microsecond virtual time, so
+//!   runs are exactly reproducible and never drift.
+//! * [`latency::LatencyModel`] — pluggable pairwise propagation delay.
+//!   [`latency::UniformLatency`] draws each (unordered) endpoint pair's
+//!   delay from `U[min, max]` by hashing the pair — O(1) memory even for
+//!   the paper's 10^4-node networks — and [`latency::EuclideanLatency`]
+//!   places endpoints on a 2D torus for triangle-inequality-respecting
+//!   delays.
+//! * [`bandwidth::Nic`] — a per-endpoint 1.5 Mb/s serializing uplink:
+//!   transmissions queue FIFO behind one another, so a 2 Mb file transfer
+//!   occupies the link for its full serialization time (store-and-forward
+//!   per overlay hop, as in the paper's transfer-latency figure).
+//! * [`Network`] — the event kernel: endpoints, timers, message delivery,
+//!   endpoint failure (messages to a dead endpoint vanish, like UDP), and
+//!   traffic counters.
+//!
+//! The simulator is generic over the message type, single-threaded, and
+//! pull-based: callers drain events with [`Network::next_event`] and react,
+//! which keeps the overlay logic (in `tap-pastry` / `tap-core`) free of
+//! callbacks and lifetimes.
+//!
+//! ```
+//! use tap_netsim::{latency::UniformLatency, Network, NetworkConfig, Event};
+//!
+//! let mut net: Network<&'static str> =
+//!     Network::new(NetworkConfig::paper_defaults(), UniformLatency::paper(42));
+//! let a = net.add_endpoint();
+//! let b = net.add_endpoint();
+//! net.send(a, b, 100, "hello");
+//! match net.next_event() {
+//!     Some(Event::Message(m)) => {
+//!         assert_eq!(m.dst, b);
+//!         assert_eq!(m.payload, "hello");
+//!     }
+//!     other => panic!("expected delivery, got {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bandwidth;
+pub mod latency;
+mod network;
+mod time;
+
+pub use network::{
+    DeliveredMessage, EndpointId, Event, Network, NetworkConfig, TimerToken, TrafficStats,
+};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,601 @@
+//! The event kernel: endpoints, timers, and message delivery.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::bandwidth::Nic;
+use crate::latency::LatencyModel;
+use crate::time::{SimDuration, SimTime};
+
+/// Index of an endpoint attached to the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EndpointId(u32);
+
+impl EndpointId {
+    /// Build from a dense index (test/bench helper; real ids come from
+    /// [`Network::add_endpoint`]).
+    pub fn from_index(i: usize) -> Self {
+        EndpointId(u32::try_from(i).expect("endpoint index fits u32"))
+    }
+
+    /// The dense index of this endpoint.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Caller-defined timer identifier, returned inside [`Event::Timer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerToken(pub u64);
+
+/// A message handed to its destination endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeliveredMessage<M> {
+    /// Sender.
+    pub src: EndpointId,
+    /// Receiver.
+    pub dst: EndpointId,
+    /// Simulated wire size in bytes (drives the bandwidth model).
+    pub bytes: u64,
+    /// When [`Network::send`] was called.
+    pub sent_at: SimTime,
+    /// When the last bit arrived at `dst`.
+    pub delivered_at: SimTime,
+    /// The payload.
+    pub payload: M,
+}
+
+/// An event surfaced by [`Network::next_event`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event<M> {
+    /// A message arrived at a live endpoint.
+    Message(DeliveredMessage<M>),
+    /// A timer set with [`Network::set_timer`] fired.
+    Timer {
+        /// The token supplied when the timer was set.
+        token: TimerToken,
+        /// The instant the timer fired.
+        at: SimTime,
+    },
+}
+
+/// Static network parameters.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Per-endpoint uplink bandwidth in bits/second.
+    pub bandwidth_bps: u64,
+    /// Fixed per-message processing delay added at the receiver (models
+    /// deserialize + handler cost; zero by default, as in the paper).
+    pub processing_delay: SimDuration,
+}
+
+impl NetworkConfig {
+    /// The paper's §7.3 parameters: 1.5 Mb/s links, no processing delay.
+    pub fn paper_defaults() -> Self {
+        NetworkConfig {
+            bandwidth_bps: 1_500_000,
+            processing_delay: SimDuration::ZERO,
+        }
+    }
+
+    /// Infinite-bandwidth control-plane profile: propagation latency only.
+    ///
+    /// The anonymity experiments (Figs 2–5) count *which* nodes see what,
+    /// not transfer seconds; running them without the bandwidth model keeps
+    /// them fast while using the identical code paths.
+    pub fn latency_only() -> Self {
+        NetworkConfig {
+            bandwidth_bps: u64::MAX,
+            processing_delay: SimDuration::ZERO,
+        }
+    }
+}
+
+/// Counters accumulated over a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Messages accepted by [`Network::send`].
+    pub messages_sent: u64,
+    /// Messages actually delivered to a live endpoint.
+    pub messages_delivered: u64,
+    /// Messages dropped (dead sender or dead receiver).
+    pub messages_dropped: u64,
+    /// Total bytes accepted for transmission.
+    pub bytes_sent: u64,
+}
+
+enum Pending<M> {
+    Message {
+        src: EndpointId,
+        dst: EndpointId,
+        bytes: u64,
+        sent_at: SimTime,
+        payload: M,
+    },
+    Timer(TimerToken),
+}
+
+struct HeapEntry<M> {
+    at: SimTime,
+    seq: u64,
+    pending: Pending<M>,
+}
+
+impl<M> PartialEq for HeapEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for HeapEntry<M> {}
+impl<M> PartialOrd for HeapEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for HeapEntry<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Ties broken by insertion order for determinism.
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A simulated network of endpoints exchanging messages of type `M`.
+///
+/// Single-threaded and pull-based: every call to [`Network::next_event`]
+/// advances virtual time to the next scheduled occurrence and returns it.
+pub struct Network<M, L: LatencyModel = crate::latency::UniformLatency> {
+    config: NetworkConfig,
+    latency: L,
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Reverse<HeapEntry<M>>>,
+    nics: Vec<Nic>,
+    alive: Vec<bool>,
+    stats: TrafficStats,
+}
+
+impl<M, L: LatencyModel> Network<M, L> {
+    /// A new, empty network.
+    pub fn new(config: NetworkConfig, latency: L) -> Self {
+        Network {
+            config,
+            latency,
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            nics: Vec::new(),
+            alive: Vec::new(),
+            stats: TrafficStats::default(),
+        }
+    }
+
+    /// Attach a new, live endpoint.
+    pub fn add_endpoint(&mut self) -> EndpointId {
+        let id = EndpointId::from_index(self.nics.len());
+        self.nics.push(Nic::new(self.config.bandwidth_bps));
+        self.alive.push(true);
+        self.latency.on_endpoint_added(id);
+        id
+    }
+
+    /// Number of endpoints ever attached (dead ones included).
+    pub fn endpoint_count(&self) -> usize {
+        self.nics.len()
+    }
+
+    /// Whether the endpoint is currently live.
+    pub fn is_alive(&self, id: EndpointId) -> bool {
+        self.alive[id.index()]
+    }
+
+    /// Kill an endpoint: it stops sending, and anything in flight to it is
+    /// silently dropped on arrival (fail-stop, like the paper's node
+    /// failures).
+    pub fn kill(&mut self, id: EndpointId) {
+        self.alive[id.index()] = false;
+        self.nics[id.index()].reset(self.now);
+    }
+
+    /// Revive a previously killed endpoint (a rejoining node; note that in
+    /// the overlay a rejoin is a *new* node — the overlay layer decides).
+    pub fn revive(&mut self, id: EndpointId) {
+        self.alive[id.index()] = true;
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Cumulative traffic counters.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// The propagation delay the latency model assigns to `(a, b)`.
+    pub fn link_delay(&self, a: EndpointId, b: EndpointId) -> SimDuration {
+        self.latency.delay(a, b)
+    }
+
+    /// Queue `payload` from `src` to `dst`. Returns the scheduled delivery
+    /// instant, or `None` if the sender is dead (nothing is sent).
+    ///
+    /// Delivery = serialization on `src`'s uplink (FIFO behind earlier
+    /// sends) + propagation delay + receiver processing delay. Whether the
+    /// receiver is alive is checked at *delivery* time, so a message can be
+    /// outrun by a failure, exactly the race TAP's replica failover handles.
+    pub fn send(&mut self, src: EndpointId, dst: EndpointId, bytes: u64, payload: M) -> Option<SimTime> {
+        if !self.alive[src.index()] {
+            self.stats.messages_dropped += 1;
+            return None;
+        }
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += bytes;
+        let tx_done = self.nics[src.index()].transmit(self.now, bytes);
+        let arrive = tx_done + self.latency.delay(src, dst) + self.config.processing_delay;
+        self.push(
+            arrive,
+            Pending::Message {
+                src,
+                dst,
+                bytes,
+                sent_at: self.now,
+                payload,
+            },
+        );
+        Some(arrive)
+    }
+
+    /// Schedule a timer `after` from now carrying `token`.
+    pub fn set_timer(&mut self, after: SimDuration, token: TimerToken) -> SimTime {
+        let at = self.now + after;
+        self.push(at, Pending::Timer(token));
+        at
+    }
+
+    fn push(&mut self, at: SimTime, pending: Pending<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(HeapEntry { at, seq, pending }));
+    }
+
+    /// The time of the next scheduled occurrence, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Advance to and return the next event. Messages whose destination has
+    /// died in the meantime are dropped transparently (time still advances
+    /// past them). Returns `None` when the simulation has quiesced.
+    pub fn next_event(&mut self) -> Option<Event<M>> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            debug_assert!(entry.at >= self.now, "time must be monotone");
+            self.now = entry.at;
+            match entry.pending {
+                Pending::Timer(token) => {
+                    return Some(Event::Timer {
+                        token,
+                        at: entry.at,
+                    })
+                }
+                Pending::Message {
+                    src,
+                    dst,
+                    bytes,
+                    sent_at,
+                    payload,
+                } => {
+                    if !self.alive[dst.index()] {
+                        self.stats.messages_dropped += 1;
+                        continue;
+                    }
+                    self.stats.messages_delivered += 1;
+                    return Some(Event::Message(DeliveredMessage {
+                        src,
+                        dst,
+                        bytes,
+                        sent_at,
+                        delivered_at: entry.at,
+                        payload,
+                    }));
+                }
+            }
+        }
+        None
+    }
+
+    /// Drain events until quiescence, calling `f` for each. The closure may
+    /// send further messages through the `&mut Network` it is given.
+    pub fn run_until_quiet(&mut self, mut f: impl FnMut(&mut Self, Event<M>)) {
+        while let Some(ev) = self.next_event() {
+            f(self, ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::UniformLatency;
+
+    type Net = Network<u32, UniformLatency>;
+
+    fn net() -> Net {
+        Network::new(NetworkConfig::paper_defaults(), UniformLatency::paper(1))
+    }
+
+    #[test]
+    fn basic_delivery_and_timing() {
+        let mut n = net();
+        let a = n.add_endpoint();
+        let b = n.add_endpoint();
+        let expect = n.send(a, b, 1_500, 42).unwrap();
+        match n.next_event().unwrap() {
+            Event::Message(m) => {
+                assert_eq!((m.src, m.dst, m.payload), (a, b, 42));
+                assert_eq!(m.delivered_at, expect);
+                // 1500 bytes at 1.5Mb/s = 8ms serialization, plus 1-230ms.
+                let total = m.delivered_at - m.sent_at;
+                assert!(total >= SimDuration::from_millis(9));
+                assert!(total <= SimDuration::from_millis(238));
+                let prop = n.link_delay(a, b);
+                assert_eq!(total, SimDuration::from_millis(8) + prop);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(n.next_event().is_none(), "quiescent after one delivery");
+    }
+
+    #[test]
+    fn fifo_uplink_orders_same_destination_traffic() {
+        let mut n = net();
+        let a = n.add_endpoint();
+        let b = n.add_endpoint();
+        n.send(a, b, 150_000, 1); // 0.8s serialization
+        n.send(a, b, 150_000, 2); // finishes at 1.6s
+        let t1 = match n.next_event().unwrap() {
+            Event::Message(m) => {
+                assert_eq!(m.payload, 1);
+                m.delivered_at
+            }
+            _ => unreachable!(),
+        };
+        let t2 = match n.next_event().unwrap() {
+            Event::Message(m) => {
+                assert_eq!(m.payload, 2);
+                m.delivered_at
+            }
+            _ => unreachable!(),
+        };
+        assert_eq!(t2 - t1, SimDuration::from_micros(800_000));
+    }
+
+    #[test]
+    fn dead_sender_sends_nothing() {
+        let mut n = net();
+        let a = n.add_endpoint();
+        let b = n.add_endpoint();
+        n.kill(a);
+        assert!(n.send(a, b, 10, 1).is_none());
+        assert!(n.next_event().is_none());
+        assert_eq!(n.stats().messages_dropped, 1);
+        assert_eq!(n.stats().messages_sent, 0);
+    }
+
+    #[test]
+    fn death_races_inflight_message() {
+        let mut n = net();
+        let a = n.add_endpoint();
+        let b = n.add_endpoint();
+        n.send(a, b, 10, 7);
+        n.kill(b); // dies before delivery
+        assert!(n.next_event().is_none(), "message dropped at arrival");
+        assert_eq!(n.stats().messages_dropped, 1);
+    }
+
+    #[test]
+    fn revive_allows_future_traffic_but_not_inflight() {
+        let mut n = net();
+        let a = n.add_endpoint();
+        let b = n.add_endpoint();
+        n.send(a, b, 10, 1);
+        n.kill(b);
+        assert!(n.next_event().is_none());
+        n.revive(b);
+        n.send(a, b, 10, 2);
+        match n.next_event().unwrap() {
+            Event::Message(m) => assert_eq!(m.payload, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timers_interleave_with_messages_in_time_order() {
+        let mut n = net();
+        let a = n.add_endpoint();
+        let b = n.add_endpoint();
+        n.set_timer(SimDuration::from_millis(1), TimerToken(99));
+        n.send(a, b, 0, 5); // zero bytes: pure propagation (>= 1ms)
+        let first = n.next_event().unwrap();
+        match first {
+            Event::Timer { token, at } => {
+                assert_eq!(token, TimerToken(99));
+                assert_eq!(at, SimTime::from_micros(1_000));
+            }
+            Event::Message(_) => {
+                // Propagation could legitimately be exactly 1ms; then the
+                // message (seq 1) comes after the timer (seq 0) anyway.
+                panic!("timer must fire first at equal-or-earlier time");
+            }
+        }
+        assert!(matches!(n.next_event(), Some(Event::Message(_))));
+    }
+
+    #[test]
+    fn deterministic_event_order_on_ties() {
+        // Two zero-latency-path timers at the same instant pop FIFO.
+        let mut n = net();
+        n.set_timer(SimDuration::from_millis(5), TimerToken(1));
+        n.set_timer(SimDuration::from_millis(5), TimerToken(2));
+        match (n.next_event().unwrap(), n.next_event().unwrap()) {
+            (Event::Timer { token: t1, .. }, Event::Timer { token: t2, .. }) => {
+                assert_eq!((t1, t2), (TimerToken(1), TimerToken(2)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn time_is_monotone_across_many_events() {
+        let mut n = net();
+        let eps: Vec<_> = (0..10).map(|_| n.add_endpoint()).collect();
+        for i in 0..10usize {
+            for j in 0..10usize {
+                if i != j {
+                    n.send(eps[i], eps[j], (i * 100 + j) as u64, 0);
+                }
+            }
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some(ev) = n.next_event() {
+            if let Event::Message(m) = ev {
+                assert!(m.delivered_at >= last);
+                last = m.delivered_at;
+                count += 1;
+            }
+        }
+        assert_eq!(count, 90);
+        assert_eq!(n.stats().messages_delivered, 90);
+    }
+
+    #[test]
+    fn same_pair_traffic_is_fifo() {
+        // Messages between one (src, dst) pair always arrive in send
+        // order: serialization is FIFO and the propagation delay per pair
+        // is constant.
+        let mut n = net();
+        let a = n.add_endpoint();
+        let b = n.add_endpoint();
+        for i in 0..50u32 {
+            n.send(a, b, (i as u64 % 7) * 100, i);
+        }
+        let mut expected = 0;
+        while let Some(Event::Message(m)) = n.next_event() {
+            assert_eq!(m.payload, expected);
+            expected += 1;
+        }
+        assert_eq!(expected, 50);
+    }
+
+    #[test]
+    fn stats_account_for_every_message() {
+        let mut n = net();
+        let eps: Vec<_> = (0..6).map(|_| n.add_endpoint()).collect();
+        n.kill(eps[5]);
+        let mut sent = 0u64;
+        let mut to_dead = 0u64;
+        for i in 0..60u32 {
+            let src = eps[(i % 5) as usize];
+            let dst = eps[((i as usize) * 3 + 1) % 6];
+            if src != dst && n.send(src, dst, 10, i).is_some() {
+                sent += 1;
+                if dst == eps[5] {
+                    to_dead += 1;
+                }
+            }
+        }
+        while n.next_event().is_some() {}
+        let s = n.stats();
+        assert_eq!(s.messages_sent, sent);
+        assert_eq!(s.messages_delivered, sent - to_dead);
+        assert_eq!(s.messages_dropped, to_dead);
+    }
+
+    #[test]
+    fn run_until_quiet_supports_reentrant_sends() {
+        let mut n = net();
+        let a = n.add_endpoint();
+        let b = n.add_endpoint();
+        n.send(a, b, 10, 3);
+        let mut hops = Vec::new();
+        n.run_until_quiet(|net, ev| {
+            if let Event::Message(m) = ev {
+                hops.push(m.payload);
+                if m.payload > 0 {
+                    net.send(m.dst, m.src, 10, m.payload - 1);
+                }
+            }
+        });
+        assert_eq!(hops, vec![3, 2, 1, 0], "ping-pong until counter hits 0");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::latency::UniformLatency;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn prop_all_live_traffic_delivered_in_time_order(
+            ops in proptest::collection::vec((0usize..8, 0usize..8, 0u64..5_000), 1..80),
+            seed in any::<u64>(),
+        ) {
+            let mut net: Network<usize, UniformLatency> =
+                Network::new(NetworkConfig::paper_defaults(), UniformLatency::paper(seed));
+            let eps: Vec<_> = (0..8).map(|_| net.add_endpoint()).collect();
+            let mut expected = 0u64;
+            for (s, d, bytes) in &ops {
+                if s != d {
+                    let at = net.send(eps[*s], eps[*d], *bytes, 0).unwrap();
+                    prop_assert!(at >= net.now());
+                    expected += 1;
+                }
+            }
+            let mut last = SimTime::ZERO;
+            let mut delivered = 0u64;
+            while let Some(ev) = net.next_event() {
+                if let Event::Message(m) = ev {
+                    prop_assert!(m.delivered_at >= last, "time went backwards");
+                    prop_assert!(m.delivered_at >= m.sent_at);
+                    // Lower bound: propagation alone.
+                    prop_assert!(
+                        m.delivered_at - m.sent_at >= net.link_delay(m.src, m.dst)
+                    );
+                    last = m.delivered_at;
+                    delivered += 1;
+                }
+            }
+            prop_assert_eq!(delivered, expected, "no live message may vanish");
+        }
+
+        #[test]
+        fn prop_kills_only_drop_their_own_traffic(
+            seed in any::<u64>(),
+            kill_idx in 0usize..4,
+        ) {
+            let mut net: Network<u32, UniformLatency> =
+                Network::new(NetworkConfig::latency_only(), UniformLatency::paper(seed));
+            let eps: Vec<_> = (0..4).map(|_| net.add_endpoint()).collect();
+            for i in 0..4usize {
+                for j in 0..4usize {
+                    if i != j {
+                        net.send(eps[i], eps[j], 1, (i * 4 + j) as u32);
+                    }
+                }
+            }
+            net.kill(eps[kill_idx]);
+            let mut got = Vec::new();
+            while let Some(ev) = net.next_event() {
+                if let Event::Message(m) = ev {
+                    prop_assert_ne!(m.dst, eps[kill_idx], "dead endpoint received");
+                    got.push(m.payload);
+                }
+            }
+            // Exactly the 9 messages not addressed to the victim arrive.
+            prop_assert_eq!(got.len(), 9);
+        }
+    }
+}

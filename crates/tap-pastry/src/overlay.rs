@@ -1,0 +1,851 @@
+//! The overlay: membership, join/leave/failure, and prefix routing.
+//!
+//! The whole network lives in one process, exactly as the paper ran
+//! FreePastry ("the peer nodes were configured to run in a single Java
+//! VM"). Every node still keeps *its own* routing table and leaf set, and
+//! routing consults only per-node state hop by hop — the overlay struct
+//! merely plays the role of the wire plus the converged maintenance
+//! protocols:
+//!
+//! * leaf sets are repaired eagerly on join/leave (Pastry's leaf-set
+//!   protocol is eager and its converged result is exact, so we install
+//!   that result directly);
+//! * routing-table entries pointing at dead nodes are discovered and
+//!   evicted lazily during routing, with Pastry's fallback rule (§2.1 of
+//!   the Pastry paper: forward to any known node at least as good in
+//!   prefix and strictly closer numerically).
+
+use std::collections::{BTreeSet, HashMap};
+
+use rand::Rng;
+use tap_id::Id;
+
+use crate::config::PastryConfig;
+use crate::leafset::LeafSet;
+use crate::routing_table::RoutingTable;
+
+/// Per-node overlay state.
+#[derive(Debug, Clone)]
+pub struct NodeHandle {
+    /// The node's identifier.
+    pub id: Id,
+    /// Its prefix routing table.
+    pub table: RoutingTable,
+    /// Its leaf set.
+    pub leafset: LeafSet,
+}
+
+/// Why a route could not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// The starting node is not a live member.
+    UnknownSource(Id),
+    /// The overlay has no live nodes at all.
+    EmptyOverlay,
+    /// No candidate made numeric progress toward the key (leaf sets would
+    /// have to be corrupted for this to happen; surfaced, never masked).
+    Stuck {
+        /// Node at which progress stopped.
+        at: Id,
+        /// Key being routed.
+        key: Id,
+    },
+    /// Hop count exceeded a sanity bound (routing loop).
+    Loop,
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::UnknownSource(id) => write!(f, "unknown source node {id:?}"),
+            RouteError::EmptyOverlay => write!(f, "overlay has no live nodes"),
+            RouteError::Stuck { at, key } => {
+                write!(f, "routing stuck at {at:?} for key {key:?}")
+            }
+            RouteError::Loop => write!(f, "routing loop detected"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// The result of routing a key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteOutcome {
+    /// Every node the message visited, starting with the source and ending
+    /// with the root.
+    pub path: Vec<Id>,
+    /// The key's root: the live node numerically closest to it.
+    pub root: Id,
+}
+
+impl RouteOutcome {
+    /// Number of overlay hops taken (`path.len() - 1`).
+    pub fn hops(&self) -> usize {
+        self.path.len() - 1
+    }
+}
+
+/// A simulated Pastry overlay.
+#[derive(Clone)]
+pub struct Overlay {
+    config: PastryConfig,
+    nodes: HashMap<Id, NodeHandle>,
+    ring: BTreeSet<Id>,
+    /// Dense membership list for O(1) *uniform* random-node sampling
+    /// (successor-of-a-random-probe sampling would be biased by ring-gap
+    /// size, which skews relay selection statistics in the experiments).
+    order: Vec<Id>,
+    pos: HashMap<Id, usize>,
+}
+
+impl Overlay {
+    /// An empty overlay.
+    pub fn new(config: PastryConfig) -> Self {
+        config.validate();
+        Overlay {
+            config,
+            nodes: HashMap::new(),
+            ring: BTreeSet::new(),
+            order: Vec::new(),
+            pos: HashMap::new(),
+        }
+    }
+
+    /// The overlay's configuration.
+    pub fn config(&self) -> &PastryConfig {
+        &self.config
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the overlay has no live nodes.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Whether `id` is a live member.
+    pub fn is_live(&self, id: Id) -> bool {
+        self.ring.contains(&id)
+    }
+
+    /// Iterate over all live node ids (ring order).
+    pub fn ids(&self) -> impl Iterator<Item = Id> + '_ {
+        self.ring.iter().copied()
+    }
+
+    /// Borrow a node's state.
+    pub fn node(&self, id: Id) -> Option<&NodeHandle> {
+        self.nodes.get(&id)
+    }
+
+    /// A uniformly random live node (exact uniformity via a dense index).
+    pub fn random_node<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Id> {
+        if self.order.is_empty() {
+            return None;
+        }
+        Some(self.order[rng.gen_range(0..self.order.len())])
+    }
+
+    // ------------------------------------------------------------------
+    // Oracle views (global knowledge; used for replica placement and for
+    // validating that decentralized routing agrees with ground truth).
+    // ------------------------------------------------------------------
+
+    /// The first live id clockwise from `from`, inclusive.
+    fn successor_inclusive(&self, from: Id) -> Id {
+        debug_assert!(!self.ring.is_empty());
+        self.ring
+            .range(from..)
+            .next()
+            .or_else(|| self.ring.iter().next())
+            .copied()
+            .expect("non-empty ring")
+    }
+
+    /// Up to `n` live ids clockwise from `from` (exclusive), in ring order.
+    pub fn successors(&self, from: Id, n: usize) -> Vec<Id> {
+        let mut out = Vec::with_capacity(n);
+        for id in self
+            .ring
+            .range((std::ops::Bound::Excluded(from), std::ops::Bound::Unbounded))
+            .chain(self.ring.range(..from))
+        {
+            if out.len() == n {
+                break;
+            }
+            out.push(*id);
+        }
+        out
+    }
+
+    /// Up to `n` live ids counter-clockwise from `from` (exclusive).
+    pub fn predecessors(&self, from: Id, n: usize) -> Vec<Id> {
+        let mut out = Vec::with_capacity(n);
+        for id in self
+            .ring
+            .range(..from)
+            .rev()
+            .chain(self.ring.range((
+                std::ops::Bound::Excluded(from),
+                std::ops::Bound::Unbounded,
+            ))
+            .rev())
+        {
+            if out.len() == n {
+                break;
+            }
+            out.push(*id);
+        }
+        out
+    }
+
+    /// Oracle: the live node numerically closest to `key` (the key's root).
+    pub fn owner_of(&self, key: Id) -> Option<Id> {
+        if self.ring.is_empty() {
+            return None;
+        }
+        let succ = self.successor_inclusive(key);
+        if succ == key {
+            return Some(succ);
+        }
+        let pred = self
+            .ring
+            .range(..key)
+            .next_back()
+            .or_else(|| self.ring.iter().next_back())
+            .copied()
+            .expect("non-empty ring");
+        Some(match key.cmp_distance(succ, pred) {
+            std::cmp::Ordering::Greater => pred,
+            _ => succ,
+        })
+    }
+
+    /// Oracle: the `k` live nodes numerically closest to `key`, nearest
+    /// first — PAST's replica set for the key.
+    pub fn k_closest(&self, key: Id, k: usize) -> Vec<Id> {
+        let take = k.min(self.ring.len());
+        // Candidates: the k nearest on each side (the k closest overall
+        // are among them), merged by ring distance.
+        let mut cands = self.successors(key, take);
+        if self.ring.contains(&key) {
+            cands.push(key);
+        }
+        cands.extend(self.predecessors(key, take));
+        cands.sort_by(|a, b| key.cmp_distance(*a, *b));
+        cands.dedup();
+        cands.truncate(take);
+        cands
+    }
+
+    // ------------------------------------------------------------------
+    // Membership
+    // ------------------------------------------------------------------
+
+    /// Add a node with a fresh random id; returns the id.
+    pub fn add_random_node<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Id {
+        loop {
+            let id = Id::random(rng);
+            if self.add_node(id) {
+                return id;
+            }
+        }
+    }
+
+    /// Add a node with identifier `id`. Returns `false` (no-op) if the id
+    /// is already taken.
+    ///
+    /// Models the Pastry join: route from a distant bootstrap node toward
+    /// `id`; nodes met on the way donate routing-table rows; the root
+    /// donates its leaf set; everyone in the new leaf set learns about the
+    /// newcomer.
+    pub fn add_node(&mut self, id: Id) -> bool {
+        if self.ring.contains(&id) {
+            return false;
+        }
+        let half = self.config.leaf_half();
+        let mut table = RoutingTable::new(id, self.config.b);
+        let mut leafset = LeafSet::new(id, half);
+
+        if !self.ring.is_empty() {
+            // Bootstrap from roughly the antipode so the join path has
+            // realistic length and donates a full set of rows.
+            let bootstrap = self.successor_inclusive(id.flip_bit(0));
+            let outcome = self
+                .route(bootstrap, id)
+                .expect("routing within a consistent overlay cannot fail");
+
+            // Row i of the i-th node on the path matches the new node on at
+            // least i digits (Pastry join, §3 of the Pastry paper).
+            for (i, hop) in outcome.path.iter().enumerate() {
+                let donor = &self.nodes[hop];
+                table.absorb_row(&donor.table, i);
+                // Later rows from the root are also valid donations.
+                if *hop == outcome.root {
+                    for r in i..donor.table.depth() {
+                        table.absorb_row(&donor.table, r);
+                    }
+                }
+                table.consider(*hop);
+            }
+
+            // Exact leaf set (the converged result of leaf-set exchange
+            // with the root).
+            leafset.rebuild(self.successors(id, half), self.predecessors(id, half));
+            for m in leafset.members().collect::<Vec<_>>() {
+                table.consider(m);
+            }
+        }
+
+        // Announce to affected peers: every node that should hold the
+        // newcomer in its leaf set is, by window symmetry, a member of the
+        // newcomer's leaf set. Each affected peer re-derives its leaf set
+        // (the converged result of Pastry's leaf-set exchange).
+        let members: Vec<Id> = leafset.members().collect();
+        self.ring.insert(id);
+        self.pos.insert(id, self.order.len());
+        self.order.push(id);
+        self.nodes.insert(id, NodeHandle { id, table, leafset });
+        let half = self.config.leaf_half();
+        for m in &members {
+            let cw = self.successors(*m, half);
+            let ccw = self.predecessors(*m, half);
+            let peer = self.nodes.get_mut(m).expect("leafset members are live");
+            peer.leafset.rebuild(cw, ccw);
+            peer.table.consider(id);
+        }
+        true
+    }
+
+    /// Remove a node (graceful leave and fail-stop failure look identical
+    /// one repair round later, which is the granularity the paper's
+    /// experiments measure at). Returns `false` if the id was not live.
+    pub fn remove_node(&mut self, id: Id) -> bool {
+        if !self.ring.remove(&id) {
+            return false;
+        }
+        self.nodes.remove(&id);
+        let idx = self.pos.remove(&id).expect("dense index tracks the ring");
+        let last = self.order.pop().expect("non-empty order list");
+        if last != id {
+            self.order[idx] = last;
+            self.pos.insert(last, idx);
+        }
+
+        // Repair leaf sets of the window around the departed node.
+        let half = self.config.leaf_half();
+        let affected: Vec<Id> = self
+            .successors(id, half)
+            .into_iter()
+            .chain(self.predecessors(id, half))
+            .collect();
+        for a in affected {
+            let cw = self.successors(a, half);
+            let ccw = self.predecessors(a, half);
+            let node = self.nodes.get_mut(&a).expect("affected node is live");
+            if node.leafset.contains(id) || node.leafset.len() < 2 * half {
+                node.leafset.rebuild(cw, ccw);
+            }
+            node.table.evict(id);
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Routing
+    // ------------------------------------------------------------------
+
+    /// Route `key` from node `from` using only per-node state, repairing
+    /// dead routing-table entries as they are discovered.
+    ///
+    /// Returns the full path (source first, root last).
+    pub fn route(&mut self, from: Id, key: Id) -> Result<RouteOutcome, RouteError> {
+        if self.ring.is_empty() {
+            return Err(RouteError::EmptyOverlay);
+        }
+        if !self.ring.contains(&from) {
+            return Err(RouteError::UnknownSource(from));
+        }
+        let mut current = from;
+        let mut path = vec![from];
+        // Prefix hops strictly lengthen the shared prefix and ring-mode
+        // hops strictly shrink ring distance, so the true bound is
+        // digits + N; this is a defensive cap well above realistic paths.
+        let max_hops = self.config.digits() + self.ring.len() + 16;
+        // Once a hop is taken on pure ring progress (a greedy step that may
+        // shorten the shared prefix), prefix hops are disabled for the rest
+        // of the route: mixing the two metrics can oscillate (prefix hops
+        // may regress ring distance, leaf-set steps may regress the shared
+        // prefix), but each metric alone is monotone. A route also flips to
+        // ring mode the moment it would revisit a node, which makes loops
+        // impossible by construction.
+        let mut ring_mode = false;
+        let mut visited: std::collections::HashSet<Id> = std::collections::HashSet::new();
+        visited.insert(from);
+
+        loop {
+            if path.len() > max_hops {
+                return Err(RouteError::Loop);
+            }
+            let (next, went_greedy) = self.forward_from(current, key, ring_mode)?;
+            match next {
+                None => {
+                    return Ok(RouteOutcome {
+                        path,
+                        root: current,
+                    })
+                }
+                Some(n) => {
+                    if !ring_mode && visited.contains(&n) {
+                        // Prefix routing is about to cycle; re-decide this
+                        // hop on pure ring progress.
+                        ring_mode = true;
+                        continue;
+                    }
+                    ring_mode |= went_greedy;
+                    debug_assert!(self.ring.contains(&n), "forwarded to dead node");
+                    visited.insert(n);
+                    path.push(n);
+                    current = n;
+                }
+            }
+        }
+    }
+
+    /// One forwarding decision at `current` for `key`. `Ok((None, _))`
+    /// means `current` is the root; the boolean reports whether the step
+    /// was pure greedy (no prefix guarantee). Evicts dead table entries it
+    /// trips over. Exposed crate-wide so [`crate::secure`] can walk routes
+    /// while interposing per-node adversarial behaviour.
+    pub(crate) fn forward_from(
+        &mut self,
+        current: Id,
+        key: Id,
+        ring_mode: bool,
+    ) -> Result<(Option<Id>, bool), RouteError> {
+        // Phase 1: leaf set covers the key → exact final step(s).
+        let (covers, leaf_next) = {
+            let node = &self.nodes[&current];
+            if node.leafset.covers(key) {
+                let best = node.leafset.closest_to(key);
+                (true, if best == current { None } else { Some(best) })
+            } else {
+                (false, None)
+            }
+        };
+        if covers {
+            if let Some(n) = leaf_next {
+                debug_assert!(self.ring.contains(&n), "leaf sets are eagerly maintained");
+            }
+            return Ok((leaf_next, false));
+        }
+
+        // Phase 2: routing table, canonical slot (skipped in ring mode).
+        if !ring_mode {
+            let hop = self.nodes[&current].table.next_hop(key);
+            if let Some(h) = hop {
+                if self.ring.contains(&h) {
+                    return Ok((Some(h), false));
+                }
+                // Stale entry: lazy repair.
+                self.nodes
+                    .get_mut(&current)
+                    .expect("current is live")
+                    .table
+                    .evict(h);
+            }
+        }
+
+        // Phase 3: rare-case fallback over table ∪ leaf set. First apply
+        // Pastry's rule (live, shares at least as long a prefix, strictly
+        // closer); if no such node is known — which can happen with
+        // sparsely populated tables — fall back to pure greedy progress by
+        // ring distance. Greedy is guaranteed to progress whenever the
+        // leaf set does not cover the key: the leaf-set edge on the key's
+        // side is strictly closer, so routing still terminates at the root.
+        let node = &self.nodes[&current];
+        let own_prefix = current.shared_prefix_digits(key, self.config.b);
+        let mut best_pastry: Option<Id> = None;
+        let mut best_greedy: Option<Id> = None;
+        let mut stale = Vec::new();
+        for c in node.table.entries().chain(node.leafset.members()) {
+            if !self.ring.contains(&c) {
+                stale.push(c);
+                continue;
+            }
+            if !c.closer_to(key, current) {
+                continue;
+            }
+            if best_greedy.is_none_or(|b| c.closer_to(key, b)) {
+                best_greedy = Some(c);
+            }
+            if c.shared_prefix_digits(key, self.config.b) >= own_prefix
+                && best_pastry.is_none_or(|b| c.closer_to(key, b))
+            {
+                best_pastry = Some(c);
+            }
+        }
+        if !stale.is_empty() {
+            let node = self.nodes.get_mut(&current).expect("current is live");
+            for s in stale {
+                node.table.evict(s);
+            }
+        }
+        if !ring_mode {
+            if let Some(b) = best_pastry {
+                return Ok((Some(b), false));
+            }
+        }
+        match best_greedy {
+            Some(b) => Ok((Some(b), true)),
+            // Not covered by the leaf set yet nobody is closer: with exact
+            // leaf sets this means current *is* the root of a sparse ring
+            // (fewer nodes than a leaf-set side). Confirm against local
+            // knowledge before declaring success.
+            None => {
+                let node = &self.nodes[&current];
+                if node.leafset.len() < 2 * self.config.leaf_half() {
+                    Ok((None, false))
+                } else {
+                    Err(RouteError::Stuck { at: current, key })
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Diagnostics / test support
+    // ------------------------------------------------------------------
+
+    /// Assert every leaf set matches the oracle ring exactly. Test helper;
+    /// O(N·L·log N).
+    pub fn assert_leafsets_exact(&self) {
+        let half = self.config.leaf_half();
+        for (&id, node) in &self.nodes {
+            let want_cw = self.successors(id, half);
+            let mut want_ccw = self.predecessors(id, half);
+            // Small rings: sides overlap; `rebuild` keeps shared nodes on
+            // the clockwise side only.
+            want_ccw.retain(|x| !want_cw.contains(x));
+            assert_eq!(
+                node.leafset.clockwise(),
+                &want_cw[..],
+                "clockwise leaf set of {id:?} drifted"
+            );
+            assert_eq!(
+                node.leafset.counter_clockwise(),
+                &want_ccw[..],
+                "counter-clockwise leaf set of {id:?} drifted"
+            );
+        }
+    }
+
+    /// Assert routing-table structural invariants for every node.
+    pub fn assert_tables_structurally_valid(&self) {
+        for node in self.nodes.values() {
+            node.table.assert_invariants();
+        }
+    }
+
+    /// Mean routing-table occupancy (diagnostics).
+    pub fn mean_table_occupancy(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.nodes.values().map(|n| n.table.occupancy()).sum();
+        total as f64 / self.nodes.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build(n: usize, seed: u64) -> (Overlay, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ov = Overlay::new(PastryConfig::paper_defaults());
+        for _ in 0..n {
+            ov.add_random_node(&mut rng);
+        }
+        (ov, rng)
+    }
+
+    #[test]
+    fn singleton_overlay_routes_to_itself() {
+        let (mut ov, mut rng) = build(1, 1);
+        let only = ov.ids().next().unwrap();
+        let key = Id::random(&mut rng);
+        let out = ov.route(only, key).unwrap();
+        assert_eq!(out.root, only);
+        assert_eq!(out.hops(), 0);
+    }
+
+    #[test]
+    fn route_reaches_oracle_owner() {
+        let (mut ov, mut rng) = build(300, 2);
+        for _ in 0..100 {
+            let src = ov.random_node(&mut rng).unwrap();
+            let key = Id::random(&mut rng);
+            let want = ov.owner_of(key).unwrap();
+            let got = ov.route(src, key).unwrap();
+            assert_eq!(got.root, want, "route disagrees with oracle");
+            assert_eq!(*got.path.first().unwrap(), src);
+            assert_eq!(*got.path.last().unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn route_rarely_revisits_nodes() {
+        // A route may re-enter at most one pre-ring-mode node when it flips
+        // to monotone ring progress; beyond that, revisits are a loop bug.
+        let (mut ov, mut rng) = build(200, 3);
+        for _ in 0..50 {
+            let src = ov.random_node(&mut rng).unwrap();
+            let key = Id::random(&mut rng);
+            let out = ov.route(src, key).unwrap();
+            let distinct: std::collections::HashSet<_> = out.path.iter().collect();
+            assert!(
+                out.path.len() <= distinct.len() + 1,
+                "more than one revisit in {:?}",
+                out.path
+            );
+            assert!(!out.path.is_empty());
+        }
+    }
+
+    #[test]
+    fn hop_counts_scale_logarithmically() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut ov = Overlay::new(PastryConfig::paper_defaults());
+        for _ in 0..1000 {
+            ov.add_random_node(&mut rng);
+        }
+        let mut total = 0usize;
+        let trials = 200;
+        for _ in 0..trials {
+            let src = ov.random_node(&mut rng).unwrap();
+            let key = Id::random(&mut rng);
+            total += ov.route(src, key).unwrap().hops();
+        }
+        let mean = total as f64 / trials as f64;
+        // log_16(1000) ≈ 2.5; allow generous slack but catch linear blowup.
+        assert!(
+            mean < 6.0,
+            "mean hops {mean} too high for 1000 nodes (expect ~log16 N)"
+        );
+        assert!(mean > 1.0, "mean hops {mean} implausibly low");
+    }
+
+    #[test]
+    fn leafsets_exact_after_joins() {
+        let (ov, _) = build(150, 5);
+        ov.assert_leafsets_exact();
+        ov.assert_tables_structurally_valid();
+    }
+
+    #[test]
+    fn leafsets_exact_after_removals() {
+        let (mut ov, mut rng) = build(150, 6);
+        let ids: Vec<Id> = ov.ids().collect();
+        for id in ids.iter().take(75) {
+            assert!(ov.remove_node(*id));
+        }
+        ov.assert_leafsets_exact();
+        // Routing still agrees with the oracle.
+        for _ in 0..50 {
+            let src = ov.random_node(&mut rng).unwrap();
+            let key = Id::random(&mut rng);
+            assert_eq!(ov.route(src, key).unwrap().root, ov.owner_of(key).unwrap());
+        }
+    }
+
+    #[test]
+    fn interleaved_churn_preserves_correctness() {
+        let (mut ov, mut rng) = build(100, 7);
+        for round in 0..20 {
+            // Remove a random node, add a fresh one.
+            let victim = ov.random_node(&mut rng).unwrap();
+            ov.remove_node(victim);
+            ov.add_random_node(&mut rng);
+            let src = ov.random_node(&mut rng).unwrap();
+            let key = Id::random(&mut rng);
+            assert_eq!(
+                ov.route(src, key).unwrap().root,
+                ov.owner_of(key).unwrap(),
+                "round {round}"
+            );
+        }
+        ov.assert_leafsets_exact();
+    }
+
+    #[test]
+    fn mass_failure_routing_survives() {
+        // Kill 30% of nodes simultaneously (the Fig. 2 scenario), then
+        // verify routing still reaches the post-failure oracle owner.
+        let (mut ov, mut rng) = build(400, 8);
+        let ids: Vec<Id> = ov.ids().collect();
+        for (i, id) in ids.iter().enumerate() {
+            if i % 10 < 3 {
+                ov.remove_node(*id);
+            }
+        }
+        for _ in 0..100 {
+            let src = ov.random_node(&mut rng).unwrap();
+            let key = Id::random(&mut rng);
+            assert_eq!(ov.route(src, key).unwrap().root, ov.owner_of(key).unwrap());
+        }
+    }
+
+    #[test]
+    fn k_closest_matches_brute_force() {
+        let (ov, mut rng) = build(120, 9);
+        let all: Vec<Id> = ov.ids().collect();
+        for _ in 0..40 {
+            let key = Id::random(&mut rng);
+            for k in [1, 3, 5] {
+                let got = ov.k_closest(key, k);
+                let mut brute = all.clone();
+                brute.sort_by(|a, b| key.cmp_distance(*a, *b));
+                brute.truncate(k);
+                assert_eq!(got, brute, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_closest_caps_at_population() {
+        let (ov, mut rng) = build(2, 10);
+        let key = Id::random(&mut rng);
+        assert_eq!(ov.k_closest(key, 5).len(), 2);
+    }
+
+    #[test]
+    fn owner_of_exact_key_is_that_node() {
+        let (ov, _) = build(50, 11);
+        for id in ov.ids().collect::<Vec<_>>() {
+            assert_eq!(ov.owner_of(id), Some(id));
+        }
+    }
+
+    #[test]
+    fn duplicate_join_rejected() {
+        let (mut ov, _) = build(10, 12);
+        let id = ov.ids().next().unwrap();
+        assert!(!ov.add_node(id));
+        assert_eq!(ov.len(), 10);
+    }
+
+    #[test]
+    fn remove_unknown_is_noop() {
+        let (mut ov, mut rng) = build(10, 13);
+        assert!(!ov.remove_node(Id::random(&mut rng)));
+        assert_eq!(ov.len(), 10);
+    }
+
+    #[test]
+    fn route_from_dead_node_fails() {
+        let (mut ov, mut rng) = build(10, 14);
+        let victim = ov.random_node(&mut rng).unwrap();
+        ov.remove_node(victim);
+        let key = Id::random(&mut rng);
+        assert_eq!(
+            ov.route(victim, key),
+            Err(RouteError::UnknownSource(victim))
+        );
+    }
+
+    #[test]
+    fn random_node_is_roughly_uniform() {
+        let (ov, mut rng) = build(20, 15);
+        let mut counts: HashMap<Id, usize> = HashMap::new();
+        for _ in 0..4000 {
+            *counts.entry(ov.random_node(&mut rng).unwrap()).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 20, "every node should be sampled");
+    }
+
+    #[test]
+    fn tiny_ring_smaller_than_leafset() {
+        // 5 nodes with |L| = 16: every leaf set holds everyone; routing is
+        // one leaf-set step.
+        let (mut ov, mut rng) = build(5, 16);
+        for _ in 0..20 {
+            let src = ov.random_node(&mut rng).unwrap();
+            let key = Id::random(&mut rng);
+            let out = ov.route(src, key).unwrap();
+            assert_eq!(out.root, ov.owner_of(key).unwrap());
+            assert!(out.hops() <= 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_route_agrees_with_oracle_under_arbitrary_churn(
+            seed in any::<u64>(),
+            script in proptest::collection::vec(any::<u8>(), 10..60),
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ov = Overlay::new(PastryConfig::paper_defaults());
+            for _ in 0..40 {
+                ov.add_random_node(&mut rng);
+            }
+            for op in script {
+                match op % 3 {
+                    0 => {
+                        ov.add_random_node(&mut rng);
+                    }
+                    1 if ov.len() > 5 => {
+                        let victim = ov.random_node(&mut rng).unwrap();
+                        ov.remove_node(victim);
+                    }
+                    _ => {
+                        let src = ov.random_node(&mut rng).unwrap();
+                        let key = Id::random(&mut rng);
+                        let got = ov.route(src, key).unwrap();
+                        prop_assert_eq!(got.root, ov.owner_of(key).unwrap());
+                    }
+                }
+            }
+            ov.assert_leafsets_exact();
+            ov.assert_tables_structurally_valid();
+        }
+
+        #[test]
+        fn prop_k_closest_is_sorted_and_distinct(
+            seed in any::<u64>(),
+            k in 1usize..8,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ov = Overlay::new(PastryConfig::paper_defaults());
+            for _ in 0..30 {
+                ov.add_random_node(&mut rng);
+            }
+            let key = Id::random(&mut rng);
+            let closest = ov.k_closest(key, k);
+            prop_assert_eq!(closest.len(), k.min(30));
+            for w in closest.windows(2) {
+                prop_assert_ne!(w[0], w[1]);
+                prop_assert_ne!(
+                    key.cmp_distance(w[0], w[1]),
+                    std::cmp::Ordering::Greater,
+                    "k_closest must be sorted by distance"
+                );
+            }
+        }
+    }
+}

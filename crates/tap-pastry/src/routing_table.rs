@@ -1,0 +1,354 @@
+//! Prefix routing tables.
+//!
+//! Row `r` of a node's table holds, for each digit value `d != own digit`,
+//! some node whose id shares the first `r` digits with the owner and has
+//! digit `d` at position `r`. Forwarding a key looks up row
+//! `shared_prefix(owner, key)`, column `key.digit(row)` — each successful
+//! hop extends the shared prefix by at least one digit, which bounds routes
+//! at `log_{2^b} N` expected hops.
+//!
+//! Rows are allocated on demand: in an `N`-node network only the first
+//! `~log_{2^b} N` rows are ever non-empty, so a 10^4-node overlay costs a
+//! few hundred bytes of table per node instead of the 15 KB a dense
+//! 40-row matrix would take.
+
+use serde::{Deserialize, Serialize};
+use tap_id::Id;
+
+/// One node's routing table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutingTable {
+    owner: Id,
+    b: u32,
+    /// `rows[r][c]` — a node matching `r` digits with digit `c` next.
+    rows: Vec<Vec<Option<Id>>>,
+}
+
+impl RoutingTable {
+    /// An empty table for `owner` with digit width `b`.
+    pub fn new(owner: Id, b: u32) -> Self {
+        debug_assert!((1..=8).contains(&b));
+        RoutingTable {
+            owner,
+            b,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The owning node's id.
+    pub fn owner(&self) -> Id {
+        self.owner
+    }
+
+    fn cols(&self) -> usize {
+        1usize << self.b
+    }
+
+    fn ensure_row(&mut self, r: usize) {
+        while self.rows.len() <= r {
+            self.rows.push(vec![None; self.cols()]);
+        }
+    }
+
+    /// The entry at `(row, col)`, if the row exists and is populated.
+    pub fn entry(&self, row: usize, col: usize) -> Option<Id> {
+        self.rows.get(row).and_then(|r| r[col])
+    }
+
+    /// Install `candidate` wherever it fits: row = shared prefix length,
+    /// col = its next digit. An empty slot is always taken; an occupied
+    /// slot is kept (Pastry replaces based on proximity, which the caller
+    /// can express by calling [`RoutingTable::replace`]). Returns whether
+    /// the table changed.
+    pub fn consider(&mut self, candidate: Id) -> bool {
+        if candidate == self.owner {
+            return false;
+        }
+        let row = self.owner.shared_prefix_digits(candidate, self.b);
+        let col = candidate.digit(row, self.b) as usize;
+        self.ensure_row(row);
+        let slot = &mut self.rows[row][col];
+        if slot.is_none() {
+            *slot = Some(candidate);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Force-install `candidate` in its natural slot, evicting any previous
+    /// occupant (used when a repair learns a fresher node).
+    pub fn replace(&mut self, candidate: Id) {
+        if candidate == self.owner {
+            return;
+        }
+        let row = self.owner.shared_prefix_digits(candidate, self.b);
+        let col = candidate.digit(row, self.b) as usize;
+        self.ensure_row(row);
+        self.rows[row][col] = Some(candidate);
+    }
+
+    /// Remove every slot pointing at `dead`. Returns how many were cleared.
+    pub fn evict(&mut self, dead: Id) -> usize {
+        let mut cleared = 0;
+        for row in &mut self.rows {
+            for slot in row.iter_mut() {
+                if *slot == Some(dead) {
+                    *slot = None;
+                    cleared += 1;
+                }
+            }
+        }
+        cleared
+    }
+
+    /// The canonical next hop for `key`: the entry one digit deeper.
+    pub fn next_hop(&self, key: Id) -> Option<Id> {
+        let row = self.owner.shared_prefix_digits(key, self.b);
+        let col = key.digit(row, self.b) as usize;
+        self.entry(row, col)
+    }
+
+    /// Fallback search (Pastry's "rare case"): any known node that shares
+    /// at least as long a prefix with `key` as the owner does *and* is
+    /// numerically closer to `key` than the owner. Scans the table.
+    pub fn fallback_hop(&self, key: Id) -> Option<Id> {
+        let own_prefix = self.owner.shared_prefix_digits(key, self.b);
+        let mut best: Option<Id> = None;
+        for row in &self.rows {
+            for slot in row.iter().flatten() {
+                let c = *slot;
+                if c.shared_prefix_digits(key, self.b) >= own_prefix
+                    && c.closer_to(key, self.owner)
+                    && best.is_none_or(|b| c.closer_to(key, b))
+                {
+                    best = Some(c);
+                }
+            }
+        }
+        best
+    }
+
+    /// All populated entries (row-major).
+    pub fn entries(&self) -> impl Iterator<Item = Id> + '_ {
+        self.rows.iter().flatten().flatten().copied()
+    }
+
+    /// Copy every entry of `other`'s row `row` into this table (the join
+    /// protocol: the i-th node on the join path donates its i-th row).
+    pub fn absorb_row(&mut self, other: &RoutingTable, row: usize) {
+        if let Some(r) = other.rows.get(row) {
+            for id in r.iter().flatten() {
+                self.consider(*id);
+            }
+        }
+    }
+
+    /// Number of populated slots (diagnostics).
+    pub fn occupancy(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| r.iter().filter(|s| s.is_some()).count())
+            .sum()
+    }
+
+    /// Highest allocated row index plus one (diagnostics).
+    pub fn depth(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Check the structural invariant of every populated slot: the entry
+    /// shares exactly `row` digits with the owner and its digit at `row` is
+    /// the column index. Panics on violation (test helper).
+    pub fn assert_invariants(&self) {
+        for (r, row) in self.rows.iter().enumerate() {
+            for (c, slot) in row.iter().enumerate() {
+                if let Some(id) = slot {
+                    assert_eq!(
+                        self.owner.shared_prefix_digits(*id, self.b),
+                        r,
+                        "entry {id} in wrong row {r}"
+                    );
+                    assert_eq!(id.digit(r, self.b) as usize, c, "entry {id} in wrong col {c}");
+                    assert_ne!(*id, self.owner, "owner must not appear in own table");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn hexid(s: &str) -> Id {
+        // Expand a short hex prefix to a full 40-char id padded with zeros.
+        format!("{s:0<40}").parse().unwrap()
+    }
+
+    #[test]
+    fn consider_places_by_prefix_and_digit() {
+        let mut rt = RoutingTable::new(hexid("a1"), 4);
+        assert!(rt.consider(hexid("b3")));
+        assert!(rt.consider(hexid("a7")));
+        assert_eq!(rt.entry(0, 0xb), Some(hexid("b3")));
+        assert_eq!(rt.entry(1, 0x7), Some(hexid("a7")));
+        rt.assert_invariants();
+    }
+
+    #[test]
+    fn consider_keeps_existing_occupant() {
+        let mut rt = RoutingTable::new(hexid("00"), 4);
+        assert!(rt.consider(hexid("f1")));
+        assert!(!rt.consider(hexid("f2")), "slot already has an f-node");
+        assert_eq!(rt.entry(0, 0xf), Some(hexid("f1")));
+        rt.replace(hexid("f2"));
+        assert_eq!(rt.entry(0, 0xf), Some(hexid("f2")));
+    }
+
+    #[test]
+    fn owner_never_inserted() {
+        let mut rt = RoutingTable::new(hexid("aa"), 4);
+        assert!(!rt.consider(hexid("aa")));
+        rt.replace(hexid("aa"));
+        assert_eq!(rt.occupancy(), 0);
+    }
+
+    #[test]
+    fn next_hop_extends_prefix() {
+        let owner = hexid("1234");
+        let mut rt = RoutingTable::new(owner, 4);
+        let target = hexid("1299");
+        // A node sharing "12" and having next digit 9:
+        let hop = hexid("129a");
+        rt.consider(hop);
+        assert_eq!(rt.next_hop(target), Some(hop));
+        let got = rt.next_hop(target).unwrap();
+        assert!(
+            got.shared_prefix_digits(target, 4) > owner.shared_prefix_digits(target, 4),
+            "hop must extend the shared prefix"
+        );
+    }
+
+    #[test]
+    fn next_hop_missing_slot_is_none() {
+        let rt = RoutingTable::new(hexid("12"), 4);
+        assert_eq!(rt.next_hop(hexid("34")), None);
+    }
+
+    #[test]
+    fn evict_clears_all_occurrences() {
+        let mut rt = RoutingTable::new(hexid("00"), 4);
+        rt.consider(hexid("ff"));
+        assert_eq!(rt.evict(hexid("ff")), 1);
+        assert_eq!(rt.entry(0, 0xf), None);
+        assert_eq!(rt.evict(hexid("ff")), 0);
+    }
+
+    #[test]
+    fn fallback_finds_closer_same_prefix_node() {
+        let owner = hexid("10");
+        let key = hexid("1f");
+        let mut rt = RoutingTable::new(owner, 4);
+        // No entry in the canonical slot (row 1, col f)? Put one only in a
+        // "wrong" position: a node 1e.. sits in row 1 col e.
+        let helper = hexid("1e");
+        rt.consider(helper);
+        assert_eq!(rt.next_hop(key), None, "canonical slot empty");
+        assert_eq!(rt.fallback_hop(key), Some(helper));
+    }
+
+    #[test]
+    fn fallback_rejects_farther_nodes() {
+        let owner = hexid("1f00");
+        let key = hexid("1f11");
+        let mut rt = RoutingTable::new(owner, 4);
+        rt.consider(hexid("1a")); // same 1-digit prefix but farther from key
+        assert_eq!(rt.fallback_hop(key), None);
+    }
+
+    #[test]
+    fn absorb_row_copies_entries() {
+        let donor_owner = hexid("1111");
+        let mut donor = RoutingTable::new(donor_owner, 4);
+        donor.consider(hexid("1511"));
+        donor.consider(hexid("1911"));
+        let mut rt = RoutingTable::new(hexid("1222"), 4);
+        rt.absorb_row(&donor, 1);
+        // Both donated entries share 1 digit with the new owner too.
+        assert_eq!(rt.entry(1, 5), Some(hexid("1511")));
+        assert_eq!(rt.entry(1, 9), Some(hexid("1911")));
+        rt.assert_invariants();
+    }
+
+    #[test]
+    fn depth_grows_lazily() {
+        let mut rt = RoutingTable::new(hexid("00"), 4);
+        assert_eq!(rt.depth(), 0);
+        rt.consider(hexid("01"));
+        assert_eq!(rt.depth(), 2, "row 1 allocated on demand");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_invariants_hold_under_random_churn(seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let owner = Id::random(&mut rng);
+            let mut rt = RoutingTable::new(owner, 4);
+            let mut pool = Vec::new();
+            for _ in 0..200 {
+                let x = Id::random(&mut rng);
+                pool.push(x);
+                rt.consider(x);
+            }
+            for (i, x) in pool.iter().enumerate() {
+                if i % 3 == 0 {
+                    rt.evict(*x);
+                }
+            }
+            rt.assert_invariants();
+        }
+
+        #[test]
+        fn prop_next_hop_always_extends_prefix(seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let owner = Id::random(&mut rng);
+            let mut rt = RoutingTable::new(owner, 4);
+            for _ in 0..300 {
+                rt.consider(Id::random(&mut rng));
+            }
+            for _ in 0..50 {
+                let key = Id::random(&mut rng);
+                if let Some(hop) = rt.next_hop(key) {
+                    prop_assert!(
+                        hop.shared_prefix_digits(key, 4)
+                            > owner.shared_prefix_digits(key, 4)
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn prop_fallback_result_is_progress(seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let owner = Id::random(&mut rng);
+            let mut rt = RoutingTable::new(owner, 4);
+            for _ in 0..100 {
+                rt.consider(Id::random(&mut rng));
+            }
+            for _ in 0..50 {
+                let key = Id::random(&mut rng);
+                if let Some(hop) = rt.fallback_hop(key) {
+                    prop_assert!(hop.closer_to(key, owner));
+                    prop_assert!(
+                        hop.shared_prefix_digits(key, 4)
+                            >= owner.shared_prefix_digits(key, 4)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! PAST-style replicated storage: every object lives on the `k` live nodes
+//! whose ids are numerically closest to the object's key.
+//!
+//! This is the "replication mechanism" TAP leans on (§2): a THA
+//! `<hopid, K, H(PW)>` is "a small file stored on the system" whose replica
+//! set tracks membership, so the *tunnel hop node* (the closest holder) is
+//! always findable as long as one replica survives.
+//!
+//! Two views matter to the reproduction:
+//!
+//! * the **current** replica set ([`ObjectRecord::holders`]), which decides
+//!   whether a tunnel hop is reachable (Fig. 2); and
+//! * the **history** of every node that ever held a replica
+//!   ([`ObjectRecord::ever_held`]) — "malicious nodes can take advantage of
+//!   the leaves of other nodes to learn more THAs" (§7.2): a malicious node
+//!   that was *ever* given a replica keeps the secret forever. Fig. 5's
+//!   churn experiment is exactly this set growing over time.
+
+use std::collections::{HashMap, HashSet};
+
+use tap_id::Id;
+
+use crate::substrate::KeyRouter;
+
+/// A stored object and its replication state.
+#[derive(Debug, Clone)]
+pub struct ObjectRecord<V> {
+    /// The stored value.
+    pub value: V,
+    /// Current replica set, numerically nearest holder first. The first
+    /// entry is the object's root (TAP's tunnel hop node); the rest are the
+    /// "tunnel hop node candidates".
+    pub holders: Vec<Id>,
+    /// Every node that ever appeared in the replica set.
+    pub ever_held: HashSet<Id>,
+}
+
+/// The replication manager.
+#[derive(Debug, Clone)]
+pub struct ReplicaStore<V> {
+    k: usize,
+    objects: HashMap<Id, ObjectRecord<V>>,
+    /// Inverted index: node → object keys it currently holds.
+    held: HashMap<Id, HashSet<Id>>,
+}
+
+impl<V> ReplicaStore<V> {
+    /// A store with replication factor `k`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "replication factor must be at least 1");
+        ReplicaStore {
+            k,
+            objects: HashMap::new(),
+            held: HashMap::new(),
+        }
+    }
+
+    /// The replication factor.
+    pub fn replication(&self) -> usize {
+        self.k
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Store `value` under `key`, replicating onto the `k` closest live
+    /// nodes of `overlay`. Returns `false` if the key is already present
+    /// (PAST insertions are immutable; TAP deletes then redeploys).
+    pub fn insert(&mut self, overlay: &impl KeyRouter, key: Id, value: V) -> bool {
+        if self.objects.contains_key(&key) {
+            return false;
+        }
+        let holders = overlay.replica_set(key, self.k);
+        assert!(
+            !holders.is_empty(),
+            "cannot replicate into an empty overlay"
+        );
+        for h in &holders {
+            self.held.entry(*h).or_default().insert(key);
+        }
+        let ever_held = holders.iter().copied().collect();
+        self.objects.insert(
+            key,
+            ObjectRecord {
+                value,
+                holders,
+                ever_held,
+            },
+        );
+        true
+    }
+
+    /// Fetch an object's record.
+    pub fn get(&self, key: Id) -> Option<&ObjectRecord<V>> {
+        self.objects.get(&key)
+    }
+
+    /// Mutable access to a stored value (replica metadata stays intact).
+    pub fn get_value_mut(&mut self, key: Id) -> Option<&mut V> {
+        self.objects.get_mut(&key).map(|r| &mut r.value)
+    }
+
+    /// Remove an object entirely (TAP's THA deletion, after the owner has
+    /// proven knowledge of PW at the protocol layer).
+    pub fn remove(&mut self, key: Id) -> Option<V> {
+        let rec = self.objects.remove(&key)?;
+        for h in &rec.holders {
+            if let Some(set) = self.held.get_mut(h) {
+                set.remove(&key);
+                if set.is_empty() {
+                    self.held.remove(h);
+                }
+            }
+        }
+        Some(rec.value)
+    }
+
+    /// Current holders of `key`, nearest first (empty if unknown key).
+    pub fn holders(&self, key: Id) -> &[Id] {
+        self.objects.get(&key).map(|r| r.holders.as_slice()).unwrap_or(&[])
+    }
+
+    /// Keys currently held by `node`.
+    pub fn held_by(&self, node: Id) -> impl Iterator<Item = Id> + '_ {
+        self.held.get(&node).into_iter().flatten().copied()
+    }
+
+    /// Iterate over `(key, record)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Id, &ObjectRecord<V>)> {
+        self.objects.iter().map(|(k, v)| (*k, v))
+    }
+
+    fn reassign(&mut self, key: Id, new_holders: Vec<Id>) {
+        let rec = self.objects.get_mut(&key).expect("reassigning known key");
+        if rec.holders == new_holders {
+            return;
+        }
+        for h in &rec.holders {
+            if !new_holders.contains(h) {
+                if let Some(set) = self.held.get_mut(h) {
+                    set.remove(&key);
+                    if set.is_empty() {
+                        self.held.remove(h);
+                    }
+                }
+            }
+        }
+        for h in &new_holders {
+            if !rec.holders.contains(h) {
+                self.held.entry(*h).or_default().insert(key);
+            }
+            rec.ever_held.insert(*h);
+        }
+        rec.holders = new_holders;
+    }
+
+    /// Repair after `node` left or failed. Call **after** the overlay has
+    /// removed it: each object the node held is re-replicated onto the new
+    /// k-closest set (one of the candidates takes over as root, and the
+    /// next ring neighbour is drafted as a fresh replica).
+    pub fn on_node_removed(&mut self, overlay: &impl KeyRouter, node: Id) {
+        let Some(keys) = self.held.remove(&node) else {
+            return;
+        };
+        for key in keys {
+            let new_holders = overlay.replica_set(key, self.k);
+            self.reassign(key, new_holders);
+        }
+    }
+
+    /// Rebalance after `node` joined. Call **after** the overlay has added
+    /// it: objects whose key the newcomer is now among the `k` closest to
+    /// migrate a replica onto it (and the displaced farthest holder drops
+    /// out of the current set — though it keeps the secret in `ever_held`).
+    pub fn on_node_added(&mut self, overlay: &impl KeyRouter, node: Id) {
+        // Only objects held within the newcomer's ring neighbourhood can be
+        // affected: their previous holders are within 2k ring positions.
+        let mut candidates: HashSet<Id> = HashSet::new();
+        for n in overlay
+            .following(node, 2 * self.k + 2)
+            .into_iter()
+            .chain(overlay.preceding(node, 2 * self.k + 2))
+        {
+            if let Some(keys) = self.held.get(&n) {
+                candidates.extend(keys.iter().copied());
+            }
+        }
+        for key in candidates {
+            let new_holders = overlay.replica_set(key, self.k);
+            self.reassign(key, new_holders);
+        }
+    }
+
+    /// Assert every object's holder set equals the overlay oracle's
+    /// k-closest. Test helper; O(objects · k · log N).
+    pub fn assert_replica_invariant(&self, overlay: &impl KeyRouter) {
+        for (key, rec) in &self.objects {
+            let want = overlay.replica_set(*key, self.k);
+            assert_eq!(
+                rec.holders, want,
+                "replica set for {key:?} diverged from k-closest"
+            );
+            for h in &want {
+                assert!(rec.ever_held.contains(h), "history missing holder");
+            }
+        }
+        // Inverted index consistency.
+        for (node, keys) in &self.held {
+            for key in keys {
+                assert!(
+                    self.objects[key].holders.contains(node),
+                    "held index points at non-holder"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PastryConfig;
+    use crate::overlay::Overlay;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn build(n: usize, seed: u64) -> (Overlay, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ov = Overlay::new(PastryConfig::paper_defaults());
+        for _ in 0..n {
+            ov.add_random_node(&mut rng);
+        }
+        (ov, rng)
+    }
+
+    #[test]
+    fn insert_places_on_k_closest() {
+        let (ov, mut rng) = build(100, 1);
+        let mut store = ReplicaStore::new(3);
+        let key = Id::random(&mut rng);
+        assert!(store.insert(&ov, key, "tha"));
+        assert_eq!(store.holders(key), ov.k_closest(key, 3));
+        store.assert_replica_invariant(&ov);
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let (ov, mut rng) = build(20, 2);
+        let mut store = ReplicaStore::new(3);
+        let key = Id::random(&mut rng);
+        assert!(store.insert(&ov, key, 1));
+        assert!(!store.insert(&ov, key, 2));
+        assert_eq!(store.get(key).unwrap().value, 1);
+    }
+
+    #[test]
+    fn remove_cleans_inverted_index() {
+        let (ov, mut rng) = build(50, 3);
+        let mut store = ReplicaStore::new(3);
+        let key = Id::random(&mut rng);
+        store.insert(&ov, key, 7u32);
+        let holder = store.holders(key)[0];
+        assert_eq!(store.remove(key), Some(7));
+        assert_eq!(store.remove(key), None);
+        assert_eq!(store.held_by(holder).count(), 0);
+        store.assert_replica_invariant(&ov);
+    }
+
+    #[test]
+    fn failover_promotes_candidate() {
+        let (mut ov, mut rng) = build(100, 4);
+        let mut store = ReplicaStore::new(3);
+        let key = Id::random(&mut rng);
+        store.insert(&ov, key, ());
+        let before = store.holders(key).to_vec();
+        // Kill the root (the tunnel hop node).
+        ov.remove_node(before[0]);
+        store.on_node_removed(&ov, before[0]);
+        let after = store.holders(key).to_vec();
+        assert_eq!(after[0], before[1], "first candidate takes over as root");
+        assert_eq!(after.len(), 3, "a fresh replica is drafted");
+        store.assert_replica_invariant(&ov);
+        // History remembers the dead root.
+        assert!(store.get(key).unwrap().ever_held.contains(&before[0]));
+    }
+
+    #[test]
+    fn join_migrates_replicas_to_newcomer() {
+        let (mut ov, mut rng) = build(100, 5);
+        let mut store = ReplicaStore::new(3);
+        let key = Id::random(&mut rng);
+        store.insert(&ov, key, ());
+        // Join a node directly adjacent to the key: it must become root.
+        let adjacent = key.wrapping_add(Id::from_u64(1));
+        assert!(ov.add_node(adjacent));
+        store.on_node_added(&ov, adjacent);
+        assert_eq!(store.holders(key)[0], adjacent);
+        store.assert_replica_invariant(&ov);
+    }
+
+    #[test]
+    fn displaced_holder_keeps_history() {
+        let (mut ov, mut rng) = build(60, 6);
+        let mut store = ReplicaStore::new(3);
+        let key = Id::random(&mut rng);
+        store.insert(&ov, key, ());
+        let displaced = store.holders(key)[2];
+        let adjacent = key.wrapping_add(Id::from_u64(1));
+        ov.add_node(adjacent);
+        store.on_node_added(&ov, adjacent);
+        assert!(!store.holders(key).contains(&displaced));
+        assert!(store.get(key).unwrap().ever_held.contains(&displaced));
+    }
+
+    #[test]
+    fn invariant_survives_heavy_churn() {
+        let (mut ov, mut rng) = build(120, 7);
+        let mut store = ReplicaStore::new(3);
+        for _ in 0..200 {
+            store.insert(&ov, Id::random(&mut rng), ());
+        }
+        for round in 0..60 {
+            if rng.gen_bool(0.5) {
+                let victim = ov.random_node(&mut rng).unwrap();
+                ov.remove_node(victim);
+                store.on_node_removed(&ov, victim);
+            } else {
+                let id = ov.add_random_node(&mut rng);
+                store.on_node_added(&ov, id);
+            }
+            if round % 10 == 9 {
+                store.assert_replica_invariant(&ov);
+            }
+        }
+        store.assert_replica_invariant(&ov);
+    }
+
+    #[test]
+    fn history_only_grows() {
+        let (mut ov, mut rng) = build(80, 8);
+        let mut store = ReplicaStore::new(3);
+        let key = Id::random(&mut rng);
+        store.insert(&ov, key, ());
+        let mut prev: HashSet<Id> = store.get(key).unwrap().ever_held.clone();
+        for _ in 0..30 {
+            let victim = ov.random_node(&mut rng).unwrap();
+            ov.remove_node(victim);
+            store.on_node_removed(&ov, victim);
+            let id = ov.add_random_node(&mut rng);
+            store.on_node_added(&ov, id);
+            let now = &store.get(key).unwrap().ever_held;
+            assert!(prev.is_subset(now), "history shrank");
+            prev = now.clone();
+        }
+    }
+
+    #[test]
+    fn small_overlay_replication_caps() {
+        let (ov, mut rng) = build(2, 9);
+        let mut store = ReplicaStore::new(5);
+        let key = Id::random(&mut rng);
+        store.insert(&ov, key, ());
+        assert_eq!(store.holders(key).len(), 2, "only 2 nodes exist");
+    }
+
+    #[test]
+    fn held_by_reflects_all_objects() {
+        let (ov, mut rng) = build(30, 10);
+        let mut store = ReplicaStore::new(3);
+        let mut keys = Vec::new();
+        for _ in 0..50 {
+            let k = Id::random(&mut rng);
+            store.insert(&ov, k, ());
+            keys.push(k);
+        }
+        let mut total = 0;
+        for n in ov.ids().collect::<Vec<_>>() {
+            total += store.held_by(n).count();
+        }
+        assert_eq!(total, 50 * 3, "each object on exactly k nodes");
+    }
+}

@@ -1,0 +1,133 @@
+//! The substrate abstraction: what TAP actually requires of a structured
+//! overlay.
+//!
+//! The paper: "we take Pastry/PAST as an example for structured P2P
+//! systems. However, we believe that our tunneling approach can be easily
+//! adapted to other systems [Chord, CAN, Tapestry, CFS, OceanStore]"
+//! (§3). [`KeyRouter`] pins down the exact interface that belief rests
+//! on — everything the THA store and the tunnel transit consume:
+//!
+//! * a *responsibility* function ([`KeyRouter::owner_of`]): which live
+//!   node currently serves a key (numerically closest node in Pastry,
+//!   successor in Chord);
+//! * a *replica set* ([`KeyRouter::replica_set`]): the `k` live nodes a
+//!   key's object is stored on, ordered so that index 0 is the
+//!   responsible node and the failure of a prefix of the list promotes
+//!   the next entry — the property TAP's hop failover needs;
+//! * *decentralized routing* ([`KeyRouter::route_path`]) that converges
+//!   on `owner_of(key)` using per-node state;
+//! * ring neighbourhood views used by replica migration.
+//!
+//! `tap-core` is written against this trait; `tap-pastry::Overlay`
+//! implements it here and the `tap-chord` crate implements it for a
+//! from-scratch Chord, which is the portability demonstration.
+
+use tap_id::Id;
+
+use crate::overlay::{Overlay, RouteError};
+
+/// The overlay interface TAP builds on. See the module docs for the
+/// contract each method carries.
+pub trait KeyRouter {
+    /// Whether `node` is currently a live member.
+    fn is_live(&self, node: Id) -> bool;
+
+    /// The live node currently responsible for `key`, if any.
+    fn owner_of(&self, key: Id) -> Option<Id>;
+
+    /// The ordered replica set for `key`: the responsible node first, then
+    /// the nodes that take over (in order) as earlier entries fail.
+    fn replica_set(&self, key: Id, k: usize) -> Vec<Id>;
+
+    /// Up to `n` live nodes following `from` in responsibility order
+    /// (exclusive). Used by replica migration on joins.
+    fn following(&self, from: Id, n: usize) -> Vec<Id>;
+
+    /// Up to `n` live nodes preceding `from` (exclusive).
+    fn preceding(&self, from: Id, n: usize) -> Vec<Id>;
+
+    /// Route `key` from `from` using per-node state; returns the node path
+    /// (source first, responsible node last). `&mut self` because routing
+    /// may repair stale per-node state along the way.
+    fn route_path(&mut self, from: Id, key: Id) -> Result<Vec<Id>, RouteError>;
+
+    /// Number of live nodes.
+    fn node_count(&self) -> usize;
+}
+
+impl KeyRouter for Overlay {
+    fn is_live(&self, node: Id) -> bool {
+        Overlay::is_live(self, node)
+    }
+
+    fn owner_of(&self, key: Id) -> Option<Id> {
+        Overlay::owner_of(self, key)
+    }
+
+    fn replica_set(&self, key: Id, k: usize) -> Vec<Id> {
+        Overlay::k_closest(self, key, k)
+    }
+
+    fn following(&self, from: Id, n: usize) -> Vec<Id> {
+        Overlay::successors(self, from, n)
+    }
+
+    fn preceding(&self, from: Id, n: usize) -> Vec<Id> {
+        Overlay::predecessors(self, from, n)
+    }
+
+    fn route_path(&mut self, from: Id, key: Id) -> Result<Vec<Id>, RouteError> {
+        Overlay::route(self, from, key).map(|o| o.path)
+    }
+
+    fn node_count(&self) -> usize {
+        Overlay::len(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PastryConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    // Exercise the Overlay through the trait object surface, exactly as a
+    // substrate-generic caller would.
+    fn build(n: usize, seed: u64) -> (Overlay, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ov = Overlay::new(PastryConfig::paper_defaults());
+        for _ in 0..n {
+            ov.add_random_node(&mut rng);
+        }
+        (ov, rng)
+    }
+
+    #[test]
+    fn trait_surface_matches_inherent_methods() {
+        let (mut ov, mut rng) = build(120, 1);
+        let key = Id::random(&mut rng);
+        let via_inherent = ov.owner_of(key);
+        let router: &mut dyn KeyRouter = &mut ov;
+        assert_eq!(router.owner_of(key), via_inherent);
+        assert_eq!(router.node_count(), 120);
+        let path = router.route_path(Id::ZERO, key);
+        // Id::ZERO is (astronomically likely) not a member.
+        assert!(path.is_err());
+        let src = ov.random_node(&mut rng).unwrap();
+        let router: &mut dyn KeyRouter = &mut ov;
+        let path = router.route_path(src, key).unwrap();
+        assert_eq!(*path.last().unwrap(), via_inherent.unwrap());
+    }
+
+    #[test]
+    fn replica_set_contract_first_is_owner() {
+        let (ov, mut rng) = build(80, 2);
+        for _ in 0..20 {
+            let key = Id::random(&mut rng);
+            let set = KeyRouter::replica_set(&ov, key, 3);
+            assert_eq!(set[0], ov.owner_of(key).unwrap());
+            assert_eq!(set.len(), 3);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Figure 5 — THA accumulation under churn; refresh or decay (§7.2).
+//!
+//! "During each time unit, we simulate that a number of 100 benign nodes
+//! leaves and then another set of 100 benign nodes joins the system. So
+//! the fraction of malicious nodes p is kept on 0.1 after each time unit.
+//! Then we measure the fraction of tunnels that are corrupted after each
+//! time unit."
+//!
+//! The mechanism: when a benign replica holder leaves, the replication
+//! manager re-replicates its THAs — sometimes onto a malicious node, which
+//! pools the secret with the collusion *forever*. `unrefreshed` tunnels
+//! therefore decay monotonically; `refreshed` tunnels (recreated every
+//! unit) only ever expose one unit's worth of migrations.
+
+use tap_core::Collusion;
+use tap_id::Id;
+
+use crate::experiments::{deploy_tunnels, retire_tunnels, Testbed};
+use crate::report::Series;
+use crate::Scale;
+
+/// Run the experiment.
+pub fn run(scale: &Scale) -> Series {
+    let (k, l) = (3, 5);
+    let p = 0.1;
+    let mut tb = Testbed::build(scale.nodes, scale.tunnels, k, l, scale.seed ^ 0xF165);
+
+    // The collusion is fixed for the whole run; churn only moves benign
+    // nodes ("malicious nodes instead can try to stay in system as long as
+    // possible").
+    let collusion = Collusion::mark_fraction(&tb.overlay, &mut tb.rng, p);
+
+    let unrefreshed_ids = tb.hop_id_lists();
+    let mut refreshed = deploy_tunnels(
+        &tb.overlay,
+        &mut tb.thas,
+        &mut tb.rng,
+        scale.tunnels,
+        l,
+    );
+
+    let mut series = Series::new(
+        "Fig. 5 — corrupted tunnels over time under churn (k=3, l=5, p=0.1)",
+        "time_unit",
+        vec!["unrefreshed".into(), "refreshed".into()],
+    );
+
+    // t = 0: before any churn, both populations are at the static rate.
+    series.push(
+        0.0,
+        vec![
+            collusion.corruption_rate(&tb.thas, &unrefreshed_ids, true),
+            collusion.corruption_rate(
+                &tb.thas,
+                &refreshed.iter().map(|t| t.hop_ids()).collect::<Vec<_>>(),
+                true,
+            ),
+        ],
+    );
+
+    for unit in 1..=scale.churn_units {
+        // 100 benign leaves, then 100 benign joins; replica repair runs
+        // after each membership event, exactly as PAST's manager would.
+        for _ in 0..scale.churn_per_unit {
+            let victim = pick_benign(&mut tb, &collusion);
+            tb.overlay.remove_node(victim);
+            tb.thas.on_node_removed(&tb.overlay, victim);
+        }
+        for _ in 0..scale.churn_per_unit {
+            let id = tb.overlay.add_random_node(&mut tb.rng);
+            tb.thas.on_node_added(&tb.overlay, id);
+        }
+
+        let unrefreshed_rate = collusion.corruption_rate(&tb.thas, &unrefreshed_ids, true);
+        let refreshed_ids: Vec<Vec<Id>> = refreshed.iter().map(|t| t.hop_ids()).collect();
+        let refreshed_rate = collusion.corruption_rate(&tb.thas, &refreshed_ids, true);
+        series.push(unit as f64, vec![unrefreshed_rate, refreshed_rate]);
+
+        // Refresh: tear the refreshed population down and rebuild it.
+        retire_tunnels(&mut tb.thas, &refreshed);
+        refreshed = deploy_tunnels(
+            &tb.overlay,
+            &mut tb.thas,
+            &mut tb.rng,
+            scale.tunnels,
+            l,
+        );
+    }
+    series
+}
+
+fn pick_benign(tb: &mut Testbed, collusion: &Collusion) -> Id {
+    loop {
+        let v = tb
+            .overlay
+            .random_node(&mut tb.rng)
+            .expect("overlay never empties");
+        if !collusion.contains(v) {
+            return v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        // Churn-heavy: 10% of the network turns over per unit for 20
+        // units, so the THA-knowledge accumulation is statistically
+        // visible with 800 tunnels (the static corruption floor at
+        // p=0.1, k=3, l=5 is only ≈0.15%).
+        Scale {
+            nodes: 400,
+            tunnels: 800,
+            latency_sims: 1,
+            latency_transfers: 1,
+            churn_units: 20,
+            churn_per_unit: 40,
+            seed: 17,
+        }
+    }
+
+    #[test]
+    fn figure5_shapes() {
+        let s = run(&tiny());
+        assert_eq!(s.rows.len(), 21, "t=0 plus 20 units");
+        let unref = s.column("unrefreshed").unwrap();
+        let refr = s.column("refreshed").unwrap();
+
+        // "The corrupted rate of unrefreshed increases steadily as time
+        // goes": compare the last third to the first third.
+        let early: f64 = unref[..3].iter().sum::<f64>() / 3.0;
+        let late: f64 = unref[unref.len() - 3..].iter().sum::<f64>() / 3.0;
+        assert!(
+            late > early,
+            "unrefreshed must decay over time: early {early:.4}, late {late:.4}"
+        );
+        // Unrefreshed knowledge is monotone (history only grows).
+        for w in unref.windows(2) {
+            assert!(w[1] + 1e-9 >= w[0], "unrefreshed dipped: {unref:?}");
+        }
+        // "Refreshed keeps almost constant": never exceeds a small bound
+        // above its own start, and ends far below unrefreshed.
+        let refreshed_max = refr.iter().fold(0.0f64, |a, b| a.max(*b));
+        assert!(
+            refreshed_max <= refr[0] + 0.05,
+            "refreshed should stay flat: {refr:?}"
+        );
+        assert!(
+            unref.last().unwrap() > refr.last().unwrap(),
+            "refresh must help by the end"
+        );
+    }
+
+    #[test]
+    fn population_is_conserved() {
+        // The churn loop swaps equal numbers in and out.
+        let scale = Scale {
+            churn_units: 3,
+            ..tiny()
+        };
+        let tb = Testbed::build(scale.nodes, 10, 3, 5, 1);
+        assert_eq!(tb.overlay.len(), scale.nodes);
+        let _ = run(&scale); // would panic internally if the ring emptied
+    }
+}

@@ -1,0 +1,99 @@
+//! Figure 3 — colluding malicious nodes (§7.2).
+//!
+//! "We again consider a 10^4 node network, where some of them are
+//! malicious and in the same colluding set. We assume the system has 5,000
+//! tunnels and randomly choose a fraction p of nodes that are malicious.
+//! The tunnel length is 5 … the replication factor k is 3. We first
+//! measure the fraction of tunnels that can be corrupted by malicious
+//! nodes."
+//!
+//! Corruption is the paper's case 1: the collusion holds the THAs of every
+//! hop of the tunnel (§6). The analytic overlay `(1-(1-p)^k)^l` makes the
+//! independence assumption explicit.
+
+use tap_core::Collusion;
+
+use crate::experiments::Testbed;
+use crate::report::Series;
+use crate::Scale;
+
+/// Malicious fractions swept (the paper's x-axis).
+pub const MALICIOUS_FRACTIONS: [f64; 6] = [0.05, 0.10, 0.15, 0.20, 0.25, 0.30];
+
+/// Independent collusion draws averaged per point.
+const DRAWS: usize = 5;
+
+/// Run the experiment.
+pub fn run(scale: &Scale) -> Series {
+    let (k, l) = (3, 5);
+    let mut tb = Testbed::build(scale.nodes, scale.tunnels, k, l, scale.seed ^ 0xF163);
+    let hop_lists = tb.hop_id_lists();
+
+    let mut series = Series::new(
+        "Fig. 3 — corrupted tunnels vs. fraction of malicious nodes (k=3, l=5)",
+        "malicious_fraction",
+        vec!["corrupted".into(), "analytic".into()],
+    );
+
+    for &p in &MALICIOUS_FRACTIONS {
+        let mut total = 0.0;
+        for _ in 0..DRAWS {
+            let collusion = Collusion::mark_fraction(&tb.overlay, &mut tb.rng, p);
+            total += collusion.corruption_rate(&tb.thas, &hop_lists, false);
+        }
+        let analytic = (1.0 - (1.0 - p).powi(k as i32)).powi(l as i32);
+        series.push(p, vec![total / DRAWS as f64, analytic]);
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            nodes: 600,
+            tunnels: 300,
+            latency_sims: 1,
+            latency_transfers: 1,
+            churn_units: 1,
+            churn_per_unit: 1,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn figure3_shapes() {
+        let s = run(&tiny());
+        assert_eq!(s.rows.len(), MALICIOUS_FRACTIONS.len());
+        let measured = s.column("corrupted").unwrap();
+
+        // Monotone (weakly) increasing in p.
+        for w in measured.windows(2) {
+            assert!(w[1] + 0.02 >= w[0], "corruption should grow with p: {measured:?}");
+        }
+        // "There is no significant tunnels corrupted even if p is large
+        // enough (e.g., 0.3)": the paper's own plot tops out well under
+        // one-fifth of tunnels.
+        assert!(
+            *measured.last().unwrap() < 0.25,
+            "corruption at p=0.3 should stay small: {measured:?}"
+        );
+        // Early points are near zero.
+        assert!(measured[0] < 0.01, "p=0.05 point: {}", measured[0]);
+    }
+
+    #[test]
+    fn figure3_tracks_analytic_model() {
+        let s = run(&tiny().with_seed(123));
+        let measured = s.column("corrupted").unwrap();
+        let model = s.column("analytic").unwrap();
+        for (m, a) in measured.iter().zip(model.iter()) {
+            assert!(
+                (m - a).abs() < 0.06,
+                "measured {m:.4} vs analytic {a:.4}"
+            );
+        }
+    }
+}

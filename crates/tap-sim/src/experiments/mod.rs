@@ -1,0 +1,141 @@
+//! The experiments, one module per figure, plus the shared testbed.
+
+pub mod churn;
+pub mod collusion;
+pub mod latency;
+pub mod node_failures;
+pub mod secure_routing;
+pub mod sweeps;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tap_core::tha::{Tha, ThaFactory, ThaSecret};
+use tap_id::Id;
+use tap_pastry::storage::ReplicaStore;
+use tap_pastry::{Overlay, PastryConfig};
+
+/// A populated overlay with tunnels, shared by the anonymity experiments.
+///
+/// Tunnels here are kept as hop-id lists plus their secrets; the transit
+/// and crypto layers are exercised by the unit/integration suites and by
+/// spot checks inside the experiments, while the bulk statistics run on
+/// the membership predicates that determine them (identical outcomes, a
+/// few orders of magnitude faster at the paper's population sizes).
+pub struct Testbed {
+    /// The overlay, fully joined.
+    pub overlay: Overlay,
+    /// The THA store with every tunnel's anchors deployed.
+    pub thas: ReplicaStore<Tha>,
+    /// Formed tunnels: initiator plus hop anchors in traversal order.
+    pub tunnels: Vec<TunnelRecord>,
+    /// The harness RNG (distinct stream per experiment).
+    pub rng: StdRng,
+    /// Replication factor in force.
+    pub k: usize,
+    /// Tunnel length in force.
+    pub l: usize,
+}
+
+/// One tunnel in the testbed.
+pub struct TunnelRecord {
+    /// The node that owns the tunnel.
+    pub initiator: Id,
+    /// The hop anchors, in traversal order.
+    pub hops: Vec<ThaSecret>,
+}
+
+impl TunnelRecord {
+    /// The hop ids, in traversal order.
+    pub fn hop_ids(&self) -> Vec<Id> {
+        self.hops.iter().map(|h| h.hopid).collect()
+    }
+}
+
+impl Testbed {
+    /// Build `nodes` nodes, then form `tunnels` tunnels of length `l` with
+    /// anchors replicated `k` ways.
+    pub fn build(nodes: usize, tunnels: usize, k: usize, l: usize, seed: u64) -> Testbed {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut overlay = Overlay::new(PastryConfig::with_replication(k));
+        for _ in 0..nodes {
+            overlay.add_random_node(&mut rng);
+        }
+        let mut thas = ReplicaStore::new(k);
+        let records = deploy_tunnels(&overlay, &mut thas, &mut rng, tunnels, l);
+        Testbed {
+            overlay,
+            thas,
+            tunnels: records,
+            rng,
+            k,
+            l,
+        }
+    }
+
+    /// Every tunnel's hop-id list (the shape the adversary analysis takes).
+    pub fn hop_id_lists(&self) -> Vec<Vec<Id>> {
+        self.tunnels.iter().map(TunnelRecord::hop_ids).collect()
+    }
+}
+
+/// Deploy `count` fresh tunnels of length `l` into `thas`, one anchor per
+/// hop, each owned by a random initiator.
+pub fn deploy_tunnels(
+    overlay: &Overlay,
+    thas: &mut ReplicaStore<Tha>,
+    rng: &mut StdRng,
+    count: usize,
+    l: usize,
+) -> Vec<TunnelRecord> {
+    let mut records = Vec::with_capacity(count);
+    for _ in 0..count {
+        let initiator = overlay.random_node(rng).expect("non-empty overlay");
+        let mut factory = ThaFactory::new(rng, initiator);
+        let mut hops = Vec::with_capacity(l);
+        while hops.len() < l {
+            let s = factory.next(rng);
+            if thas.insert(overlay, s.hopid, s.stored()) {
+                hops.push(s);
+            }
+        }
+        records.push(TunnelRecord { initiator, hops });
+    }
+    records
+}
+
+/// Remove a set of tunnels' anchors from the store (tunnel teardown /
+/// refresh).
+pub fn retire_tunnels(thas: &mut ReplicaStore<Tha>, tunnels: &[TunnelRecord]) {
+    for t in tunnels {
+        for h in &t.hops {
+            thas.remove(h.hopid);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_builds_consistently() {
+        let tb = Testbed::build(200, 50, 3, 5, 1);
+        assert_eq!(tb.overlay.len(), 200);
+        assert_eq!(tb.tunnels.len(), 50);
+        assert_eq!(tb.thas.len(), 250);
+        tb.thas.assert_replica_invariant(&tb.overlay);
+        for t in &tb.tunnels {
+            assert_eq!(t.hops.len(), 5);
+            assert!(tb.overlay.is_live(t.initiator));
+        }
+    }
+
+    #[test]
+    fn retire_removes_all_anchors() {
+        let mut tb = Testbed::build(100, 20, 3, 3, 2);
+        let tunnels = std::mem::take(&mut tb.tunnels);
+        retire_tunnels(&mut tb.thas, &tunnels);
+        assert!(tb.thas.is_empty());
+    }
+}

@@ -1,0 +1,261 @@
+//! Figure 2 — simultaneous node failures/leaves (§7.1).
+//!
+//! "We consider a 10^4 node network that forms 5,000 tunnels, and randomly
+//! choose a fraction p of nodes that fail/leave. After node
+//! failures/leaves, we measure the fraction of tunnels that could not
+//! function. … the tunnel length is 5."
+//!
+//! Three curves: the fixed-node *current tunneling* baseline, TAP with
+//! k = 3, and TAP with k = 5. A TAP tunnel functions iff every hop still
+//! has a live THA replica holder (the post-failure root of the hopid is
+//! then guaranteed to be one of them — proven by the transit layer and
+//! spot-checked here end-to-end); a baseline tunnel functions iff every
+//! relay node survived.
+
+use std::collections::HashSet;
+
+use rand::seq::IteratorRandom;
+
+use tap_core::transit::{self, TransitError, TransitOptions};
+use tap_core::tunnel::Tunnel;
+use tap_core::wire::Destination;
+use tap_id::Id;
+use tap_pastry::storage::ReplicaStore;
+
+use crate::experiments::Testbed;
+use crate::report::Series;
+use crate::Scale;
+
+/// Failure fractions swept (the paper's x-axis).
+pub const FAILURE_FRACTIONS: [f64; 10] =
+    [0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50];
+
+/// How many tunnels per point get the full cryptographic transit check on
+/// a cloned overlay (agreement with the membership predicate is asserted).
+const SPOT_CHECKS: usize = 25;
+
+/// Run the experiment.
+pub fn run(scale: &Scale) -> Series {
+    let l = 5;
+    // One overlay and one set of hopids; two stores at k=3 and k=5 so the
+    // curves compare the replication factor on identical tunnels.
+    let mut tb = Testbed::build(scale.nodes, scale.tunnels, 3, l, scale.seed ^ 0xF162);
+    let thas_k5 = reinsert_with_k(&tb, 5);
+
+    // Baseline: fixed-node tunnels of the same length, same initiators.
+    let baselines: Vec<Vec<Id>> = tb
+        .tunnels
+        .iter()
+        .map(|t| {
+            let mut relays = Vec::with_capacity(l);
+            let mut used: HashSet<Id> = HashSet::new();
+            used.insert(t.initiator);
+            while relays.len() < l {
+                let n = tb.overlay.random_node(&mut tb.rng).expect("non-empty");
+                if used.insert(n) {
+                    relays.push(n);
+                }
+            }
+            relays
+        })
+        .collect();
+
+    let mut series = Series::new(
+        "Fig. 2 — failed tunnels vs. fraction of failed nodes (N nodes, 5-hop tunnels)",
+        "failed_fraction",
+        vec![
+            "current_tunneling".into(),
+            "tap_k3".into(),
+            "tap_k5".into(),
+            "analytic_current".into(),
+            "analytic_k3".into(),
+            "analytic_k5".into(),
+        ],
+    );
+
+    let all_ids: Vec<Id> = tb.overlay.ids().collect();
+    for &p in &FAILURE_FRACTIONS {
+        let dead_count = ((scale.nodes as f64) * p).round() as usize;
+        let dead: HashSet<Id> = all_ids
+            .iter()
+            .copied()
+            .choose_multiple(&mut tb.rng, dead_count)
+            .into_iter()
+            .collect();
+
+        let mut surveyed = 0usize;
+        let mut base_failed = 0usize;
+        let mut k3_failed = 0usize;
+        let mut k5_failed = 0usize;
+        for (t, relays) in tb.tunnels.iter().zip(baselines.iter()) {
+            if dead.contains(&t.initiator) {
+                continue; // the user is gone; its tunnel is moot, not failed
+            }
+            surveyed += 1;
+            if relays.iter().any(|r| dead.contains(r)) {
+                base_failed += 1;
+            }
+            if tunnel_broken(&tb.thas, t.hop_ids().as_slice(), &dead) {
+                k3_failed += 1;
+            }
+            if tunnel_broken(&thas_k5, t.hop_ids().as_slice(), &dead) {
+                k5_failed += 1;
+            }
+        }
+
+        spot_check_with_transit(&mut tb, &dead, l);
+
+        let n = surveyed.max(1) as f64;
+        series.push(
+            p,
+            vec![
+                base_failed as f64 / n,
+                k3_failed as f64 / n,
+                k5_failed as f64 / n,
+                1.0 - (1.0 - p).powi(l as i32),
+                1.0 - (1.0 - p.powi(3)).powi(l as i32),
+                1.0 - (1.0 - p.powi(5)).powi(l as i32),
+            ],
+        );
+    }
+    series
+}
+
+/// A TAP tunnel is broken iff some hop lost *every* replica holder.
+pub fn tunnel_broken(
+    thas: &ReplicaStore<tap_core::tha::Tha>,
+    hop_ids: &[Id],
+    dead: &HashSet<Id>,
+) -> bool {
+    hop_ids.iter().any(|h| {
+        thas.holders(*h)
+            .iter()
+            .all(|holder| dead.contains(holder))
+    })
+}
+
+/// Rebuild the THA store with a different replication factor over the same
+/// hopids (same overlay, same tunnels).
+fn reinsert_with_k(tb: &Testbed, k: usize) -> ReplicaStore<tap_core::tha::Tha> {
+    let mut store = ReplicaStore::new(k);
+    for t in &tb.tunnels {
+        for h in &t.hops {
+            store.insert(&tb.overlay, h.hopid, h.stored());
+        }
+    }
+    store
+}
+
+/// Drive a subsample of tunnels through real onion transit on a cloned
+/// overlay with the dead set actually removed, and assert the result
+/// agrees with [`tunnel_broken`]. Keeps the fast predicate honest.
+fn spot_check_with_transit(tb: &mut Testbed, dead: &HashSet<Id>, _l: usize) {
+    let mut overlay = tb.overlay.clone();
+    for d in dead {
+        overlay.remove_node(*d);
+    }
+    let checks = tb.tunnels.len().min(SPOT_CHECKS);
+    for i in 0..checks {
+        let t = &tb.tunnels[i];
+        if dead.contains(&t.initiator) {
+            continue;
+        }
+        let tunnel = Tunnel::new(t.hops.clone());
+        let probe_key = Id::random(&mut tb.rng);
+        let onion = tunnel.build_onion(
+            &mut tb.rng,
+            Destination::KeyRoot(probe_key),
+            b"fig2-probe",
+            None,
+        );
+        let outcome = transit::drive(
+            &mut overlay,
+            &tb.thas,
+            t.initiator,
+            tunnel.entry_hopid(),
+            onion,
+            TransitOptions::default(),
+        );
+        let predicted_broken = tunnel_broken(&tb.thas, &t.hop_ids(), dead);
+        match outcome {
+            Ok(_) => assert!(
+                !predicted_broken,
+                "transit succeeded but predicate says broken"
+            ),
+            Err(TransitError::ThaLost { .. }) => assert!(
+                predicted_broken,
+                "transit lost a THA but predicate says intact"
+            ),
+            Err(e) => panic!("unexpected transit failure in spot check: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            nodes: 400,
+            tunnels: 120,
+            latency_sims: 1,
+            latency_transfers: 1,
+            churn_units: 1,
+            churn_per_unit: 1,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn figure2_shapes() {
+        let s = run(&tiny());
+        assert_eq!(s.rows.len(), FAILURE_FRACTIONS.len());
+        let base = s.column("current_tunneling").unwrap();
+        let k3 = s.column("tap_k3").unwrap();
+        let k5 = s.column("tap_k5").unwrap();
+
+        // Baseline climbs steeply: at p = 0.5 most 5-hop tunnels are dead.
+        assert!(base.last().unwrap() > &0.85, "baseline at p=0.5: {base:?}");
+        // "In TAP, there is no significant tunnel failure."
+        assert!(k3.iter().take(4).all(|v| *v < 0.05), "k3 early points {k3:?}");
+        // Higher k is (weakly) more robust at every point.
+        for (a, b) in k5.iter().zip(k3.iter()) {
+            assert!(a <= b, "k5 must not fail more than k3");
+        }
+        // TAP always (weakly) beats the baseline.
+        for (t, b) in k3.iter().zip(base.iter()) {
+            assert!(t <= b);
+        }
+    }
+
+    #[test]
+    fn figure2_tracks_analytic_model() {
+        let s = run(&tiny().with_seed(7));
+        let base = s.column("current_tunneling").unwrap();
+        let model = s.column("analytic_current").unwrap();
+        for (m, a) in base.iter().zip(model.iter()) {
+            assert!(
+                (m - a).abs() < 0.12,
+                "baseline diverges from 1-(1-p)^5: {m} vs {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn tunnel_broken_predicate() {
+        let tb = Testbed::build(150, 5, 3, 3, 3);
+        let t = &tb.tunnels[0];
+        let mut dead = HashSet::new();
+        assert!(!tunnel_broken(&tb.thas, &t.hop_ids(), &dead));
+        // Kill every holder of the first hop.
+        for h in tb.thas.holders(t.hop_ids()[0]) {
+            dead.insert(*h);
+        }
+        assert!(tunnel_broken(&tb.thas, &t.hop_ids(), &dead));
+        // One survivor rescues the hop.
+        let revived = *tb.thas.holders(t.hop_ids()[0]).first().unwrap();
+        dead.remove(&revived);
+        assert!(!tunnel_broken(&tb.thas, &t.hop_ids(), &dead));
+    }
+}

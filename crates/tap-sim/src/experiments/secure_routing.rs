@@ -1,0 +1,189 @@
+//! Extension experiment — secure routing to a hopid (§9's open problem).
+//!
+//! Not a figure in the ICPP paper (which defers secure routing to the
+//! authors' extended report); this experiment quantifies the three
+//! mechanisms `tap-pastry::secure` provides, under both adversarial
+//! forwarding behaviours:
+//!
+//! * **naive** — plain Pastry routing, one copy;
+//! * **redundant** — fanout-8 copies scattered through random relays with
+//!   the certified-id plausibility test;
+//! * **iterative** — source-controlled lookup that ring-walks around
+//!   unresponsive nodes.
+//!
+//! "Success" means reaching the closest *responsive* node to the key —
+//! exactly the node that can serve a THA replica.
+
+use rand::seq::IteratorRandom;
+
+use tap_id::Id;
+use tap_pastry::secure::{
+    adversarial_route, iterative_secure_lookup, redundant_route, AttemptOutcome, BehaviorMap,
+    NodeBehavior,
+};
+use tap_pastry::{Overlay, PastryConfig};
+
+use crate::report::Series;
+use crate::Scale;
+
+/// Malicious fractions swept.
+pub const MALICIOUS_FRACTIONS: [f64; 5] = [0.05, 0.10, 0.20, 0.30, 0.40];
+
+/// Redundant-routing fanout.
+pub const FANOUT: usize = 8;
+
+/// Trials per point.
+const TRIALS: usize = 120;
+
+/// Run the experiment for dropping adversaries (the harder case; against
+/// misrouters the plausibility test alone is already decisive).
+pub fn run(scale: &Scale) -> Series {
+    let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(scale.seed ^ 0x5EC);
+    let mut overlay = Overlay::new(PastryConfig::paper_defaults());
+    for _ in 0..scale.nodes {
+        overlay.add_random_node(&mut rng);
+    }
+
+    let mut series = Series::new(
+        "Extension — secure routing success vs. malicious (dropping) fraction",
+        "malicious_fraction",
+        vec![
+            "naive".into(),
+            "redundant_f8".into(),
+            "iterative".into(),
+            "redundant_cost_hops".into(),
+            "iterative_cost_queries".into(),
+        ],
+    );
+
+    for &p in &MALICIOUS_FRACTIONS {
+        let count = (overlay.len() as f64 * p).round() as usize;
+        let behavior: BehaviorMap = overlay
+            .ids()
+            .choose_multiple(&mut rng, count)
+            .into_iter()
+            .map(|id| (id, NodeBehavior::Drop))
+            .collect();
+
+        let mut naive_ok = 0usize;
+        let mut redundant_ok = 0usize;
+        let mut iterative_ok = 0usize;
+        let mut redundant_hops = 0usize;
+        let mut iterative_queries = 0usize;
+        for _ in 0..TRIALS {
+            let from = loop {
+                let f = overlay.random_node(&mut rng).expect("non-empty");
+                if !behavior.contains_key(&f) {
+                    break f;
+                }
+            };
+            let key = Id::random(&mut rng);
+            let want = closest_responsive(&overlay, &behavior, key);
+
+            if let AttemptOutcome::Claimed { root, .. } =
+                adversarial_route(&mut overlay, &behavior, from, key).expect("routes")
+            {
+                if root == want {
+                    naive_ok += 1;
+                }
+            }
+            if let Ok(out) =
+                redundant_route(&mut overlay, &behavior, &mut rng, from, key, FANOUT)
+            {
+                redundant_hops += out.total_hops;
+                if out.root == want {
+                    redundant_ok += 1;
+                }
+            }
+            if let Ok(out) = iterative_secure_lookup(&mut overlay, &behavior, from, key, 200) {
+                iterative_queries += out.queries;
+                if out.root == want {
+                    iterative_ok += 1;
+                }
+            }
+        }
+        series.push(
+            p,
+            vec![
+                naive_ok as f64 / TRIALS as f64,
+                redundant_ok as f64 / TRIALS as f64,
+                iterative_ok as f64 / TRIALS as f64,
+                redundant_hops as f64 / TRIALS as f64,
+                iterative_queries as f64 / TRIALS as f64,
+            ],
+        );
+    }
+    series
+}
+
+/// The closest node to `key` that answers queries (droppers excluded).
+fn closest_responsive(overlay: &Overlay, behavior: &BehaviorMap, key: Id) -> Id {
+    overlay
+        .k_closest(key, overlay.len())
+        .into_iter()
+        .find(|n| !matches!(behavior.get(n), Some(NodeBehavior::Drop)))
+        .expect("somebody is honest")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            nodes: 500,
+            tunnels: 1,
+            latency_sims: 1,
+            latency_transfers: 1,
+            churn_units: 1,
+            churn_per_unit: 1,
+            seed: 31,
+        }
+    }
+
+    #[test]
+    fn mechanisms_rank_as_designed() {
+        let s = run(&tiny());
+        let naive = s.column("naive").unwrap();
+        let redundant = s.column("redundant_f8").unwrap();
+        let iterative = s.column("iterative").unwrap();
+        for i in 0..s.rows.len() {
+            assert!(
+                iterative[i] + 0.03 >= redundant[i],
+                "row {i}: iterative {} vs redundant {}",
+                iterative[i],
+                redundant[i]
+            );
+            assert!(
+                redundant[i] + 0.05 >= naive[i],
+                "row {i}: redundant {} vs naive {}",
+                redundant[i],
+                naive[i]
+            );
+        }
+        // Iterative is near-perfect even at 40% droppers.
+        assert!(
+            *iterative.last().unwrap() > 0.9,
+            "iterative at p=0.4: {iterative:?}"
+        );
+        // Naive degrades visibly by then.
+        assert!(
+            *naive.last().unwrap() < *iterative.last().unwrap(),
+            "naive should trail iterative at p=0.4"
+        );
+    }
+
+    #[test]
+    fn security_has_a_cost() {
+        let s = run(&tiny().with_seed(32));
+        let hops = s.column("redundant_cost_hops").unwrap();
+        let queries = s.column("iterative_cost_queries").unwrap();
+        // Redundant copies cost several times a single route; iterative
+        // queries grow as droppers waste probes.
+        assert!(hops.iter().all(|h| *h > 4.0), "{hops:?}");
+        assert!(
+            queries.last().unwrap() > queries.first().unwrap(),
+            "query cost should grow with the dropper fraction: {queries:?}"
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Figure 4 — the anonymity knobs (§7.2).
+//!
+//! (a) corruption vs. replication factor `k` (p = 0.1, l = 5): "a bigger
+//! replication factor allows malicious nodes to be able to learn more
+//! THAs"; (b) corruption vs. tunnel length `l` (p = 0.1, k = 3): "the
+//! fraction decreases with the increasing tunnel length, and the tunnel
+//! length of 5 catches the knee of the curve."
+
+use tap_core::tha::Tha;
+use tap_core::Collusion;
+use tap_id::Id;
+use tap_pastry::storage::ReplicaStore;
+
+use crate::experiments::{deploy_tunnels, Testbed};
+use crate::report::Series;
+use crate::Scale;
+
+/// Replication factors swept in Fig. 4(a). Bounded above by the leaf-set
+/// reach (k ≤ |L|/2 + 1 with the paper's |L| = 16).
+pub const REPLICATION_FACTORS: [usize; 7] = [1, 2, 3, 4, 5, 6, 8];
+
+/// Tunnel lengths swept in Fig. 4(b).
+pub const TUNNEL_LENGTHS: [usize; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
+
+/// Malicious fraction held fixed ("the value of p is fixed to be 0.1").
+pub const P_MALICIOUS: f64 = 0.1;
+
+/// Independent collusion draws averaged per point.
+const DRAWS: usize = 5;
+
+/// Fig. 4(a): corruption vs. replication factor.
+pub fn by_replication(scale: &Scale) -> Series {
+    let l = 5;
+    // Build once at k=3, then re-replicate the same hopids at each k.
+    let mut tb = Testbed::build(scale.nodes, scale.tunnels, 3, l, scale.seed ^ 0xF164A);
+    let hop_lists = tb.hop_id_lists();
+
+    let mut series = Series::new(
+        "Fig. 4(a) — corrupted tunnels vs. replication factor (p=0.1, l=5)",
+        "replication_factor",
+        vec!["corrupted".into(), "analytic".into()],
+    );
+
+    for &k in &REPLICATION_FACTORS {
+        let store = restore_with_k(&tb, k);
+        let mut total = 0.0;
+        for _ in 0..DRAWS {
+            let collusion = Collusion::mark_fraction(&tb.overlay, &mut tb.rng, P_MALICIOUS);
+            total += collusion.corruption_rate(&store, &hop_lists, false);
+        }
+        let analytic = (1.0 - (1.0 - P_MALICIOUS).powi(k as i32)).powi(l as i32);
+        series.push(k as f64, vec![total / DRAWS as f64, analytic]);
+    }
+    series
+}
+
+/// Fig. 4(b): corruption vs. tunnel length.
+pub fn by_length(scale: &Scale) -> Series {
+    let k = 3;
+    let mut series = Series::new(
+        "Fig. 4(b) — corrupted tunnels vs. tunnel length (p=0.1, k=3)",
+        "tunnel_length",
+        vec!["corrupted".into(), "analytic".into()],
+    );
+
+    // One overlay reused across lengths; fresh tunnels per length.
+    let mut tb = Testbed::build(scale.nodes, 0, k, 1, scale.seed ^ 0xF164B);
+    for &l in &TUNNEL_LENGTHS {
+        let mut store: ReplicaStore<Tha> = ReplicaStore::new(k);
+        let tunnels = deploy_tunnels(&tb.overlay, &mut store, &mut tb.rng, scale.tunnels, l);
+        let hop_lists: Vec<Vec<Id>> = tunnels.iter().map(|t| t.hop_ids()).collect();
+        let mut total = 0.0;
+        for _ in 0..DRAWS {
+            let collusion = Collusion::mark_fraction(&tb.overlay, &mut tb.rng, P_MALICIOUS);
+            total += collusion.corruption_rate(&store, &hop_lists, false);
+        }
+        let analytic = (1.0 - (1.0 - P_MALICIOUS).powi(k as i32)).powi(l as i32);
+        series.push(l as f64, vec![total / DRAWS as f64, analytic]);
+    }
+    series
+}
+
+fn restore_with_k(tb: &Testbed, k: usize) -> ReplicaStore<Tha> {
+    let mut store = ReplicaStore::new(k);
+    for t in &tb.tunnels {
+        for h in &t.hops {
+            store.insert(&tb.overlay, h.hopid, h.stored());
+        }
+    }
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            nodes: 500,
+            tunnels: 400,
+            latency_sims: 1,
+            latency_transfers: 1,
+            churn_units: 1,
+            churn_per_unit: 1,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn figure4a_monotone_in_k() {
+        let s = by_replication(&tiny());
+        let m = s.column("corrupted").unwrap();
+        assert_eq!(m.len(), REPLICATION_FACTORS.len());
+        // "As the replication factor increases, the fraction of tunnels
+        // that are corrupted increases." Allow small statistical wiggle.
+        for w in m.windows(2) {
+            assert!(w[1] + 0.03 >= w[0], "corruption should grow with k: {m:?}");
+        }
+        // Large-k corruption clearly exceeds k=1.
+        assert!(m.last().unwrap() > &(m[0] + 0.01), "{m:?}");
+    }
+
+    #[test]
+    fn figure4b_decreases_with_length_and_knees_at_5() {
+        let s = by_length(&tiny());
+        let m = s.column("corrupted").unwrap();
+        // "The fraction decreases with the increasing tunnel length."
+        for w in m.windows(2) {
+            assert!(w[1] <= w[0] + 0.03, "corruption should fall with l: {m:?}");
+        }
+        // The knee: by l=5 the curve is within a hair of its floor.
+        let at5 = m[4];
+        let floor = m.last().unwrap();
+        assert!(
+            at5 - floor < 0.02,
+            "l=5 should catch the knee (at5={at5:.4}, floor={floor:.4})"
+        );
+        // And l=1 is dramatically worse than l=5.
+        assert!(m[0] > at5 + 0.10, "l=1 ({}) vs l=5 ({at5})", m[0]);
+    }
+
+    #[test]
+    fn sweeps_track_analytic_models() {
+        let a = by_replication(&tiny().with_seed(6));
+        for (m, x) in a
+            .column("corrupted")
+            .unwrap()
+            .iter()
+            .zip(a.column("analytic").unwrap().iter())
+        {
+            assert!((m - x).abs() < 0.07, "4a measured {m} vs analytic {x}");
+        }
+        let b = by_length(&tiny().with_seed(7));
+        for (m, x) in b
+            .column("corrupted")
+            .unwrap()
+            .iter()
+            .zip(b.column("analytic").unwrap().iter())
+        {
+            assert!((m - x).abs() < 0.07, "4b measured {m} vs analytic {x}");
+        }
+    }
+}

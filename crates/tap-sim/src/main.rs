@@ -1,0 +1,117 @@
+//! `tap-sim` — regenerate the TAP paper's figures from the command line.
+//!
+//! ```text
+//! tap-sim <fig2|fig3|fig4a|fig4b|fig5|fig6|secure|all> \
+//!         [--paper] [--seed N] [--nodes N] [--tunnels N] [--csv DIR]
+//! ```
+//!
+//! Default scale is `quick` (seconds); `--paper` runs the published
+//! parameters (10^4 nodes, 5 000 tunnels, 30×1 000 transfers — minutes).
+//! `all` runs the experiments on parallel threads (they are independent
+//! deterministic simulations) and prints the figures in order.
+
+use std::io::Write;
+
+use tap_sim::{experiments, Scale, Series};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tap-sim <fig2|fig3|fig4a|fig4b|fig5|fig6|secure|all> \
+       [--paper] [--seed N] [--nodes N] [--tunnels N] [--csv DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut which = None;
+    let mut scale = Scale::quick();
+    let mut csv_dir: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--paper" => scale = Scale::paper(),
+            "--seed" => {
+                let v = iter.next().unwrap_or_else(|| usage());
+                scale = scale.with_seed(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--nodes" => {
+                let v = iter.next().unwrap_or_else(|| usage());
+                scale.nodes = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--tunnels" => {
+                let v = iter.next().unwrap_or_else(|| usage());
+                scale.tunnels = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--csv" => {
+                csv_dir = Some(iter.next().unwrap_or_else(|| usage()).clone());
+            }
+            name if which.is_none() && !name.starts_with('-') => {
+                which = Some(name.to_string());
+            }
+            _ => usage(),
+        }
+    }
+    let which = which.unwrap_or_else(|| usage());
+
+    type Job = (&'static str, fn(&Scale) -> Series);
+    let jobs: Vec<Job> = vec![
+        ("fig2", experiments::node_failures::run),
+        ("fig3", experiments::collusion::run),
+        ("fig4a", experiments::sweeps::by_replication),
+        ("fig4b", experiments::sweeps::by_length),
+        ("fig5", experiments::churn::run),
+        ("fig6", experiments::latency::run),
+        ("secure", experiments::secure_routing::run),
+    ];
+
+    let selected: Vec<&Job> = if which == "all" {
+        jobs.iter().collect()
+    } else {
+        let j: Vec<_> = jobs.iter().filter(|(n, _)| *n == which).collect();
+        if j.is_empty() {
+            usage();
+        }
+        j
+    };
+
+    // The experiments share nothing and are deterministic per scale:
+    // run them on parallel threads, print in submission order.
+    let results: Vec<(&str, Series, std::time::Duration)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = selected
+            .iter()
+            .map(|(name, job)| {
+                let scale = scale;
+                scope.spawn(move || {
+                    let start = std::time::Instant::now();
+                    let series = job(&scale);
+                    (*name, series, start.elapsed())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment thread panicked"))
+            .collect()
+    });
+
+    for (name, series, took) in results {
+        println!("{series}");
+        println!(
+            "({name}: {} rows in {took:.2?}, N={}, tunnels={})\n",
+            series.rows.len(),
+            scale.nodes,
+            scale.tunnels
+        );
+        if let Some(dir) = &csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let path = format!("{dir}/{name}.csv");
+            let mut f = std::fs::File::create(&path).expect("create csv file");
+            f.write_all(series.to_csv().as_bytes()).expect("write csv");
+            println!("wrote {path}");
+        }
+    }
+}
