@@ -48,7 +48,7 @@ fn ablation_k_tradeoff() {
         let mut store: ReplicaStore<Tha> = ReplicaStore::new(k);
         for t in &tb.tunnels {
             for h in &t.hops {
-                store.insert(&tb.overlay, h.hopid, h.stored());
+                store.insert(&tb.overlay, h.hopid, h.stored()).unwrap();
             }
         }
         let hop_lists: Vec<Vec<Id>> = tb.tunnels.iter().map(|t| t.hop_ids()).collect();
@@ -183,30 +183,28 @@ fn ablation_scatter() {
     }
     let mut store: ReplicaStore<Tha> = ReplicaStore::new(3);
     let bucket = ArcRange::prefix_bucket(Id::ZERO.with_digit(0, 4, 0xa), 1, 4);
-    let make = |rng: &mut StdRng,
-                store: &mut ReplicaStore<Tha>,
-                overlay: &Overlay,
-                scattered: bool| {
-        (0..150)
-            .map(|_| {
-                let initiator = overlay.random_node(rng).unwrap();
-                let mut f = ThaFactory::new(rng, initiator);
-                (0..3u8)
-                    .map(|j| {
-                        let s = if scattered {
-                            let d = [0x2u8, 0xa, 0xe][j as usize];
-                            let b = ArcRange::prefix_bucket(Id::ZERO.with_digit(0, 4, d), 1, 4);
-                            f.next_in(rng, &b)
-                        } else {
-                            f.next_in(rng, &bucket)
-                        };
-                        store.insert(overlay, s.hopid, s.stored());
-                        s.hopid
-                    })
-                    .collect::<Vec<Id>>()
-            })
-            .collect::<Vec<_>>()
-    };
+    let make =
+        |rng: &mut StdRng, store: &mut ReplicaStore<Tha>, overlay: &Overlay, scattered: bool| {
+            (0..150)
+                .map(|_| {
+                    let initiator = overlay.random_node(rng).unwrap();
+                    let mut f = ThaFactory::new(rng, initiator);
+                    (0..3u8)
+                        .map(|j| {
+                            let s = if scattered {
+                                let d = [0x2u8, 0xa, 0xe][j as usize];
+                                let b = ArcRange::prefix_bucket(Id::ZERO.with_digit(0, 4, d), 1, 4);
+                                f.next_in(rng, &b)
+                            } else {
+                                f.next_in(rng, &bucket)
+                            };
+                            store.insert(overlay, s.hopid, s.stored()).unwrap();
+                            s.hopid
+                        })
+                        .collect::<Vec<Id>>()
+                })
+                .collect::<Vec<_>>()
+        };
     let clustered = make(&mut rng, &mut store, &overlay, false);
     let scattered = make(&mut rng, &mut store, &overlay, true);
     println!(

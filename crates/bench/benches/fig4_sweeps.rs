@@ -24,7 +24,7 @@ fn bench_fig4(c: &mut Criterion) {
                 let mut store: ReplicaStore<Tha> = ReplicaStore::new(k);
                 for t in &tb.tunnels {
                     for h in &t.hops {
-                        store.insert(&tb.overlay, h.hopid, h.stored());
+                        store.insert(&tb.overlay, h.hopid, h.stored()).unwrap();
                     }
                 }
                 store.len()

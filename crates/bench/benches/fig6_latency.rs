@@ -35,7 +35,7 @@ fn bench_fig6(c: &mut Criterion) {
     let hops: Vec<_> = (0..5)
         .map(|_| {
             let s = factory.next(&mut rng);
-            thas.insert(&overlay, s.hopid, s.stored());
+            thas.insert(&overlay, s.hopid, s.stored()).unwrap();
             s
         })
         .collect();
@@ -66,9 +66,7 @@ fn bench_fig6(c: &mut Criterion) {
         })
     });
 
-    group.bench_function("whole_figure_quick", |b| {
-        b.iter(|| latency::run(&scale))
-    });
+    group.bench_function("whole_figure_quick", |b| b.iter(|| latency::run(&scale)));
     group.finish();
 }
 

@@ -170,10 +170,8 @@ fn bench_netsim(c: &mut Criterion) {
     group.bench_function("send_and_deliver_1000_msgs", |b| {
         b.iter_batched(
             || {
-                let mut net: Network<u32, UniformLatency> = Network::new(
-                    NetworkConfig::latency_only(),
-                    UniformLatency::paper(6),
-                );
+                let mut net: Network<u32, UniformLatency> =
+                    Network::new(NetworkConfig::latency_only(), UniformLatency::paper(6));
                 let eps: Vec<_> = (0..50).map(|_| net.add_endpoint()).collect();
                 (net, eps)
             },

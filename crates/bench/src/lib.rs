@@ -17,6 +17,7 @@ pub fn bench_scale() -> Scale {
         churn_units: 5,
         churn_per_unit: 25,
         seed: 0xBE7C4,
+        journal_cap: 0,
     }
 }
 

@@ -1,0 +1,412 @@
+//! Offline stand-in for the `rand` 0.8 API surface used by this workspace.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! this minimal, dependency-free implementation under the same crate name.
+//! It provides exactly the API the TAP crates call — [`Rng`], [`SeedableRng`],
+//! [`rngs::StdRng`], and the [`seq`] helpers — with a deterministic
+//! xoshiro256** generator behind `StdRng`.
+//!
+//! Determinism note: streams differ from upstream `rand`'s ChaCha-based
+//! `StdRng`, so seeded simulations produce different (but equally valid)
+//! draws than the checked-in `results/*.csv`, which were generated before
+//! the vendoring. All statistical assertions in the test suite hold under
+//! either stream.
+
+#![forbid(unsafe_code)]
+
+/// Low-level generator interface: raw words and byte filling.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Types that can be drawn uniformly from a generator (the subset of
+/// `rand::distributions::Standard` this workspace uses).
+pub trait Standard: Sized {
+    /// Draw a uniform value.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u8 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+impl Standard for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl Standard for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl Standard for usize {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+impl Standard for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl<const N: usize> Standard for [u8; N] {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+/// Integer types `gen_range` can sample; provides unbiased range draws.
+pub trait UniformSample: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi]` (both inclusive).
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo <= hi, "empty sample range");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                // Rejection sampling over the smallest covering power of two.
+                let width = span + 1;
+                let mask = u64::MAX >> width.leading_zeros().min(63);
+                loop {
+                    let v = rng.next_u64() & mask;
+                    if v <= span {
+                        return lo.wrapping_add(v as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl UniformSample for f64 {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        lo + f64::draw(rng) * (hi - lo)
+    }
+}
+
+/// Ranges acceptable to [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformSample + One> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, self.start, self.end.minus_one())
+    }
+}
+
+impl<T: UniformSample> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Helper to turn an exclusive upper bound into an inclusive one.
+pub trait One {
+    /// `self - 1` for the exclusive→inclusive bound conversion.
+    fn minus_one(self) -> Self;
+}
+macro_rules! impl_one {
+    ($($t:ty),*) => {$(
+        impl One for $t {
+            fn minus_one(self) -> Self { self - 1 }
+        }
+    )*};
+}
+impl_one!(u8, u16, u32, u64, usize, i32, i64);
+impl One for f64 {
+    // `Range<f64>` is half-open already; sampling treats the bound as open.
+    fn minus_one(self) -> Self {
+        self
+    }
+}
+
+/// High-level convenience methods, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    /// Draw a uniform value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Draw uniformly from a range (`0..n`, `1..=max`, …).
+    fn gen_range<T: UniformSample, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "probability out of range");
+        f64::draw(self) < p
+    }
+
+    /// Fill a byte slice with random data (alias of [`RngCore::fill_bytes`]).
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generators that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256**
+    /// seeded via SplitMix64 (Blackman & Vigna). Not cryptographic; the
+    /// crypto crate derives key material through its own primitives.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended for xoshiro seeding.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&bytes[..n]);
+            }
+        }
+    }
+}
+
+/// Sequence-related helpers (`shuffle`, `choose`, reservoir sampling).
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice extensions mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+        /// A uniformly chosen element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get((rng.next_u64() % self.len() as u64) as usize)
+            }
+        }
+    }
+
+    /// Iterator extensions mirroring `rand::seq::IteratorRandom`.
+    pub trait IteratorRandom: Iterator + Sized {
+        /// Reservoir-sample one element.
+        fn choose<R: RngCore + ?Sized>(mut self, rng: &mut R) -> Option<Self::Item> {
+            let mut chosen = self.next()?;
+            let mut seen = 1u64;
+            for item in self {
+                seen += 1;
+                if rng.next_u64().is_multiple_of(seen) {
+                    chosen = item;
+                }
+            }
+            Some(chosen)
+        }
+
+        /// Reservoir-sample up to `amount` distinct elements. Order is not
+        /// specified (matches upstream's documented contract).
+        fn choose_multiple<R: RngCore + ?Sized>(
+            mut self,
+            rng: &mut R,
+            amount: usize,
+        ) -> Vec<Self::Item> {
+            let mut reservoir: Vec<Self::Item> = Vec::with_capacity(amount);
+            if amount == 0 {
+                return reservoir;
+            }
+            for item in self.by_ref().take(amount) {
+                reservoir.push(item);
+            }
+            let mut seen = reservoir.len() as u64;
+            for item in self {
+                seen += 1;
+                let j = rng.next_u64() % seen;
+                if (j as usize) < amount {
+                    reservoir[j as usize] = item;
+                }
+            }
+            reservoir
+        }
+    }
+
+    impl<I: Iterator> IteratorRandom for I {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::{IteratorRandom, SliceRandom};
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(0..10);
+            assert!(v < 10);
+            let w: u64 = rng.gen_range(1u64..=3);
+            assert!((1..=3).contains(&w));
+            let f: f64 = rng.gen_range(2.0..5.0);
+            assert!((2.0..5.0).contains(&f));
+        }
+        // Full-width inclusive range must not overflow the rejection mask.
+        let v: u64 = rng.gen_range(1u64..=u64::MAX >> 24);
+        assert!(v >= 1);
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rate() {
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn choose_and_reservoir() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let v: Vec<u32> = (0..100).collect();
+        assert!(v.as_slice().choose(&mut rng).is_some());
+        let empty: [u32; 0] = [];
+        assert!(empty.as_slice().choose(&mut rng).is_none());
+
+        let picked = (0..100u32).choose_multiple(&mut rng, 10);
+        assert_eq!(picked.len(), 10);
+        let mut uniq = picked.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 10, "choose_multiple must not repeat items");
+
+        assert_eq!((0..5u32).choose_multiple(&mut rng, 10).len(), 5);
+        assert!((0..0u32).choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn fill_covers_tail() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut buf = [0u8; 20];
+        rng.fill(&mut buf[..]);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

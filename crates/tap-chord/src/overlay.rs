@@ -139,7 +139,6 @@ impl ChordOverlay {
             .next()
             .or_else(|| self.ring.iter().next())
             .copied()
-            .into()
     }
 
     /// Oracle: `n` live nodes clockwise of `from` (exclusive).
@@ -161,16 +160,11 @@ impl ChordOverlay {
     /// Oracle: `n` live nodes counter-clockwise of `from` (exclusive).
     pub fn predecessors(&self, from: Id, n: usize) -> Vec<Id> {
         let mut out = Vec::with_capacity(n);
-        for id in self
-            .ring
-            .range(..from)
-            .rev()
-            .chain(
-                self.ring
-                    .range((std::ops::Bound::Excluded(from), std::ops::Bound::Unbounded))
-                    .rev(),
-            )
-        {
+        for id in self.ring.range(..from).rev().chain(
+            self.ring
+                .range((std::ops::Bound::Excluded(from), std::ops::Bound::Unbounded))
+                .rev(),
+        ) {
             if out.len() == n {
                 break;
             }
@@ -536,7 +530,7 @@ mod tests {
         let mut keys = Vec::new();
         for i in 0..50 {
             let key = Id::random(&mut rng);
-            assert!(store.insert(&ov, key, i));
+            assert!(store.insert(&ov, key, i).unwrap());
             keys.push(key);
         }
         store.assert_replica_invariant(&ov);
@@ -556,7 +550,7 @@ mod tests {
         let (mut ov, mut rng) = build(150, 8);
         let mut store: ReplicaStore<()> = ReplicaStore::new(3);
         let key = Id::random(&mut rng);
-        store.insert(&ov, key, ());
+        store.insert(&ov, key, ()).unwrap();
         let before = store.holders(key).to_vec();
         ov.remove_node(before[0]);
         // Without repair: the new responsible node is the old candidate.

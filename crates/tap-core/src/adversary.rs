@@ -172,7 +172,7 @@ mod tests {
         (0..count)
             .map(|_| {
                 let s = f.next(&mut fx.rng);
-                fx.thas.insert(&fx.overlay, s.hopid, s.stored());
+                fx.thas.insert(&fx.overlay, s.hopid, s.stored()).unwrap();
                 s.hopid
             })
             .collect()
@@ -246,7 +246,10 @@ mod tests {
         let tail_node = fx.overlay.owner_of(hops[4]).unwrap();
         let mut c = Collusion::new();
         c.insert(first_node);
-        assert!(!c.corrupts_case2(&fx.overlay, &hops), "first alone is not enough");
+        assert!(
+            !c.corrupts_case2(&fx.overlay, &hops),
+            "first alone is not enough"
+        );
         c.insert(tail_node);
         assert!(c.corrupts_case2(&fx.overlay, &hops));
     }

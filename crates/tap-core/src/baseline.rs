@@ -140,8 +140,8 @@ impl FixedTunnel {
             if !overlay.is_live(*node) {
                 return Err(FixedTunnelError::RelayDown { node: *node });
             }
-            let layer =
-                onion::peel(key, &cursor).map_err(|_| FixedTunnelError::BadLayer { node: *node })?;
+            let layer = onion::peel(key, &cursor)
+                .map_err(|_| FixedTunnelError::BadLayer { node: *node })?;
             let header = HopHeader::decode(&layer.header)
                 .map_err(|_| FixedTunnelError::BadLayer { node: *node })?;
             cursor = layer.inner;

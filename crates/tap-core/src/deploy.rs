@@ -139,8 +139,8 @@ impl Instruction {
         let mut eph = [0u8; 32];
         eph.copy_from_slice(eph_bytes);
         let (len_bytes, rest) = rest.split_at_checked(4)?;
-        let len = u32::from_be_bytes([len_bytes[0], len_bytes[1], len_bytes[2], len_bytes[3]])
-            as usize;
+        let len =
+            u32::from_be_bytes([len_bytes[0], len_bytes[1], len_bytes[2], len_bytes[3]]) as usize;
         if rest.len() != len {
             return None;
         }
@@ -249,7 +249,7 @@ pub fn deploy_via_onion<R: Rng + ?Sized>(
         }
         report.puzzle_work += solution.nonce;
 
-        if !store.insert(overlay, hopid, instruction.tha) {
+        if !matches!(store.insert(overlay, hopid, instruction.tha), Ok(true)) {
             break Err(DeployError::Rejected { hopid });
         }
         report.deposited.push(hopid);
@@ -361,7 +361,7 @@ pub fn deploy_via_tunnel<R: Rng + ?Sized>(
         let solution = puzzle.solve(hopid.as_bytes());
         debug_assert!(puzzle.verify(hopid.as_bytes(), &solution));
         report.puzzle_work += solution.nonce;
-        if !store.insert(overlay, hopid, tha) {
+        if !matches!(store.insert(overlay, hopid, tha), Ok(true)) {
             // Roll back, mirroring the onion-path semantics.
             for h in &report.deposited {
                 store.remove(*h);
@@ -692,7 +692,7 @@ mod tests {
         let hops: Vec<_> = (0..3)
             .map(|_| {
                 let s = factory.next(&mut fx.rng);
-                fx.store.insert(&fx.overlay, s.hopid, s.stored());
+                fx.store.insert(&fx.overlay, s.hopid, s.stored()).unwrap();
                 s
             })
             .collect();
@@ -725,7 +725,7 @@ mod tests {
         let hops: Vec<_> = (0..3)
             .map(|_| {
                 let s = factory.next(&mut fx.rng);
-                fx.store.insert(&fx.overlay, s.hopid, s.stored());
+                fx.store.insert(&fx.overlay, s.hopid, s.stored()).unwrap();
                 s
             })
             .collect();
@@ -759,7 +759,7 @@ mod tests {
         let owner = fx.overlay.random_node(&mut fx.rng).unwrap();
         let mut factory = ThaFactory::new(&mut fx.rng, owner);
         let s = factory.next(&mut fx.rng);
-        fx.store.insert(&fx.overlay, s.hopid, s.stored());
+        fx.store.insert(&fx.overlay, s.hopid, s.stored()).unwrap();
         let carrier = crate::tunnel::Tunnel::new(vec![s]);
         assert_eq!(
             deploy_via_tunnel(

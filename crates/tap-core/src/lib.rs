@@ -40,6 +40,8 @@
 //!   NIC queueing included.
 //! * [`system`] — a facade wiring overlay + stores + PKI together, the API
 //!   the examples and experiments drive.
+//! * [`metrics`] — cached `tap-metrics` handles (onion layer timings,
+//!   transit retries, THA takeovers) shared by transit and retrieval.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,6 +51,7 @@ pub mod baseline;
 pub mod deploy;
 pub mod manager;
 pub mod messaging;
+pub mod metrics;
 pub mod netdrive;
 pub mod retrieval;
 pub mod system;
@@ -60,6 +63,7 @@ pub mod wire;
 pub use adversary::Collusion;
 pub use baseline::FixedTunnel;
 pub use manager::{ManagerStats, RefreshPolicy, TunnelManager};
+pub use metrics::CoreInstruments;
 pub use system::{SystemConfig, TapSystem};
 pub use tha::{Tha, ThaFactory, ThaSecret};
 pub use transit::{HintCache, TransitError, TransitReport};

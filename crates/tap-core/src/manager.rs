@@ -195,8 +195,7 @@ impl TunnelManager {
     fn replenish_pool(&mut self, sys: &mut TapSystem) {
         let pool = sys.anchor_pool(self.owner).len();
         if pool < self.policy.min_pool {
-            let deployed =
-                sys.deploy_anchors_direct(self.owner, self.policy.replenish_batch);
+            let deployed = sys.deploy_anchors_direct(self.owner, self.policy.replenish_batch);
             self.stats.anchors_deployed += deployed as u64;
         }
     }

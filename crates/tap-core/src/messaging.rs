@@ -191,7 +191,12 @@ pub fn reply<R: Rng + ?Sized>(
 
 impl PendingReply {
     /// Open a sealed answer that surfaced at the sender's node.
-    pub fn open(&self, landed_at: Id, expected_self: Id, sealed: &SealedBox) -> Result<Vec<u8>, MessagingError> {
+    pub fn open(
+        &self,
+        landed_at: Id,
+        expected_self: Id,
+        sealed: &SealedBox,
+    ) -> Result<Vec<u8>, MessagingError> {
         if landed_at != expected_self {
             return Err(MessagingError::Misdelivered { node: landed_at });
         }
@@ -236,7 +241,7 @@ mod tests {
         let mut hops = Vec::new();
         while hops.len() < l {
             let s = f.next(&mut fx.rng);
-            if fx.thas.insert(&fx.overlay, s.hopid, s.stored()) {
+            if fx.thas.insert(&fx.overlay, s.hopid, s.stored()).unwrap() {
                 hops.push(s);
             }
         }

@@ -1,0 +1,72 @@
+//! Cached [`tap_metrics`] handles for this crate's hot paths.
+//!
+//! All tap-core instrumentation flows through [`CoreInstruments`]: one
+//! registry lookup per metric at construction, plain atomic operations on
+//! the cached handles afterwards. [`crate::system::TapSystem`] owns one and
+//! threads it (as `Option<&CoreInstruments>`) into transit and retrieval;
+//! standalone callers of [`crate::transit::drive`] pay nothing.
+
+use std::sync::Arc;
+
+use tap_id::Id;
+use tap_metrics::{Counter, Histogram, Registry};
+
+/// Metric names recorded by tap-core.
+///
+/// * `core.onion.wrap_us` — histogram, wall-clock microseconds to seal one
+///   onion layer (encrypt side).
+/// * `core.onion.peel_us` — histogram, wall-clock microseconds to open one
+///   onion layer (decrypt side, recorded per hop during transit).
+/// * `core.transit.retries` — counter, direct-address (§5 hint) attempts
+///   that failed and fell back to overlay routing.
+/// * `core.tha.takeovers` — counter, tunnel hops served by a replica
+///   candidate instead of the node that was root at deployment time. Each
+///   takeover also emits a `core.tha.takeover` event naming the hopid.
+#[derive(Clone)]
+pub struct CoreInstruments {
+    registry: Registry,
+    /// Per-layer onion seal (encrypt) timing, microseconds.
+    pub onion_wrap_us: Arc<Histogram>,
+    /// Per-layer onion open (decrypt) timing, microseconds.
+    pub onion_peel_us: Arc<Histogram>,
+    /// Hint attempts that failed and retried via overlay routing.
+    pub transit_retries: Arc<Counter>,
+    /// Hops served by a replica candidate rather than the original root.
+    pub tha_takeovers: Arc<Counter>,
+}
+
+impl CoreInstruments {
+    /// Resolve (or create) this crate's instruments in `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        CoreInstruments {
+            registry: registry.clone(),
+            onion_wrap_us: registry.histogram("core.onion.wrap_us"),
+            onion_peel_us: registry.histogram("core.onion.peel_us"),
+            transit_retries: registry.counter("core.transit.retries"),
+            tha_takeovers: registry.counter("core.tha.takeovers"),
+        }
+    }
+
+    /// The registry these instruments record into.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Record a replica takeover of `hopid` by `node` (counter + event).
+    /// tap-core has no clock of its own, so events carry `at_micros = 0`;
+    /// the journal preserves insertion order regardless.
+    pub fn record_takeover(&self, hopid: Id, node: Id) {
+        self.tha_takeovers.inc();
+        self.registry.emit(
+            0,
+            "core.tha.takeover",
+            format!("hopid={hopid:?} node={node:?}"),
+        );
+    }
+}
+
+impl std::fmt::Debug for CoreInstruments {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoreInstruments").finish_non_exhaustive()
+    }
+}

@@ -94,7 +94,8 @@ impl<L: LatencyModel> NetDriver<L> {
             if let Event::Message(m) = ev {
                 let idx = m.payload as usize;
                 if idx + 1 < eps.len() {
-                    self.net.send(eps[idx], eps[idx + 1], bytes, (idx + 1) as u64);
+                    self.net
+                        .send(eps[idx], eps[idx + 1], bytes, (idx + 1) as u64);
                 } else {
                     return Ok((m.delivered_at - start, eps.len() - 1));
                 }
@@ -247,7 +248,7 @@ mod tests {
         let mut hops = Vec::new();
         while hops.len() < l {
             let s = f.next(&mut fx.rng);
-            if fx.thas.insert(&fx.overlay, s.hopid, s.stored()) {
+            if fx.thas.insert(&fx.overlay, s.hopid, s.stored()).unwrap() {
                 hops.push(s);
             }
         }
@@ -389,8 +390,7 @@ mod tests {
                 TransitOptions::default(),
             )
             .unwrap();
-        let onion_hinted =
-            t.build_onion(&mut fx.rng, Destination::Node(dest), b"f", Some(&hints));
+        let onion_hinted = t.build_onion(&mut fx.rng, Destination::Node(dest), b"f", Some(&hints));
         let (_, hinted) = fx
             .driver
             .drive_timed(

@@ -15,6 +15,7 @@ use tap_id::{Id, ID_BYTES};
 use tap_pastry::storage::ReplicaStore;
 use tap_pastry::{KeyRouter, Overlay};
 
+use crate::metrics::CoreInstruments;
 use crate::tha::Tha;
 use crate::transit::{self, Delivery, TransitError, TransitOptions, TransitReport};
 use crate::tunnel::{ReplyTunnel, Tunnel};
@@ -153,6 +154,8 @@ pub struct RetrievalContext<'a, O: KeyRouter = Overlay> {
     pub thas: &'a ReplicaStore<Tha>,
     /// The file store.
     pub files: &'a ReplicaStore<StoredFile>,
+    /// Instruments to record onion timings / takeovers / retries into.
+    pub metrics: Option<&'a CoreInstruments>,
 }
 
 /// Run the full §4 protocol: request `fid` through `fwd`, receive the file
@@ -180,16 +183,23 @@ pub fn retrieve<R: Rng + ?Sized, O: KeyRouter>(
         reply_entry: reply_tunnel.entry_hopid,
         reply_onion: reply_tunnel.onion.clone(),
     };
-    let onion = fwd.build_onion(rng, Destination::KeyRoot(fid), &request.encode(), hints);
+    let onion = fwd.build_onion_instrumented(
+        rng,
+        Destination::KeyRoot(fid),
+        &request.encode(),
+        hints,
+        ctx.metrics,
+    );
 
     // ---- forward path ----
-    let (delivery, forward_report) = transit::drive(
+    let (delivery, forward_report) = transit::drive_instrumented(
         ctx.overlay,
         ctx.thas,
         initiator,
         fwd.entry_hopid(),
         onion,
         options,
+        ctx.metrics,
     )
     .map_err(RetrievalError::Forward)?;
     let (responder, request_bytes) = match delivery {
@@ -215,13 +225,14 @@ pub fn retrieve<R: Rng + ?Sized, O: KeyRouter>(
     let reply_bytes = reply.encode();
 
     // ---- reply path ----
-    let (delivery, reply_report) = transit::drive(
+    let (delivery, reply_report) = transit::drive_instrumented(
         ctx.overlay,
         ctx.thas,
         responder,
         request.reply_entry,
         request.reply_onion,
         options,
+        ctx.metrics,
     )
     .map_err(RetrievalError::Reply)?;
     let landed = match delivery {
@@ -234,7 +245,9 @@ pub fn retrieve<R: Rng + ?Sized, O: KeyRouter>(
 
     // ---- initiator decrypts ----
     let reply = Reply::decode(&reply_bytes).ok_or(RetrievalError::Corrupt)?;
-    let k_f_bytes = k_i.open(&reply.key_box).map_err(|_| RetrievalError::Corrupt)?;
+    let k_f_bytes = k_i
+        .open(&reply.key_box)
+        .map_err(|_| RetrievalError::Corrupt)?;
     let k_f_arr: [u8; 32] = k_f_bytes.try_into().map_err(|_| RetrievalError::Corrupt)?;
     let k_f = SymmetricKey::from_bytes(k_f_arr);
     let file = k_f
@@ -288,7 +301,7 @@ mod tests {
         let mut pool = Vec::new();
         for _ in 0..(l * 4) {
             let s = fx.factory.next(&mut fx.rng);
-            fx.thas.insert(&fx.overlay, s.hopid, s.stored());
+            fx.thas.insert(&fx.overlay, s.hopid, s.stored()).unwrap();
             pool.push(s);
         }
         Tunnel::form_scattered(&mut fx.rng, &pool, l, 4).unwrap()
@@ -296,13 +309,15 @@ mod tests {
 
     fn store_file(fx: &mut Fx, data: &[u8]) -> Id {
         let fid = Id::random(&mut fx.rng);
-        fx.files.insert(
-            &fx.overlay,
-            fid,
-            StoredFile {
-                data: data.to_vec(),
-            },
-        );
+        fx.files
+            .insert(
+                &fx.overlay,
+                fid,
+                StoredFile {
+                    data: data.to_vec(),
+                },
+            )
+            .unwrap();
         fid
     }
 
@@ -322,6 +337,7 @@ mod tests {
             overlay: &mut fx.overlay,
             thas: &fx.thas,
             files: &fx.files,
+            metrics: None,
         };
         let (file, report) = retrieve(
             &mut fx.rng,
@@ -365,6 +381,7 @@ mod tests {
             overlay: &mut fx.overlay,
             thas: &fx.thas,
             files: &fx.files,
+            metrics: None,
         };
         let err = retrieve(
             &mut fx.rng,
@@ -400,6 +417,7 @@ mod tests {
             overlay: &mut fx.overlay,
             thas: &fx.thas,
             files: &fx.files,
+            metrics: None,
         };
         match retrieve(
             &mut fx.rng,
@@ -437,6 +455,7 @@ mod tests {
             overlay: &mut fx.overlay,
             thas: &fx.thas,
             files: &fx.files,
+            metrics: None,
         };
         let (file, report) = retrieve(
             &mut fx.rng,

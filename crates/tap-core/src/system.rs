@@ -13,10 +13,12 @@ use rand::{Rng, SeedableRng};
 
 use tap_crypto::KeyPair;
 use tap_id::Id;
+use tap_metrics::Registry;
 use tap_pastry::storage::ReplicaStore;
 use tap_pastry::{Overlay, PastryConfig};
 
 use crate::deploy::{self, DeployError};
+use crate::metrics::CoreInstruments;
 use crate::retrieval::{self, RetrievalError, RetrievalReport, StoredFile};
 use crate::tha::{Tha, ThaFactory, ThaSecret};
 use crate::transit::{HintCache, TransitOptions};
@@ -81,6 +83,7 @@ pub struct TapSystem {
     keys: HashMap<Id, KeyPair>,
     factories: HashMap<Id, ThaFactory>,
     anchors: HashMap<Id, Vec<ThaSecret>>,
+    instruments: CoreInstruments,
 }
 
 impl TapSystem {
@@ -95,11 +98,28 @@ impl TapSystem {
             factories: HashMap::new(),
             anchors: HashMap::new(),
             config,
+            instruments: CoreInstruments::new(&Registry::new()),
         };
+        sys.use_metrics(Registry::new());
         for _ in 0..n {
             sys.add_node();
         }
         sys
+    }
+
+    /// Record the whole system's metrics — overlay, both replica stores
+    /// and tap-core's own instruments — into `registry` (share one across
+    /// subsystems, then [`Registry::snapshot`] it for a combined report).
+    pub fn use_metrics(&mut self, registry: Registry) {
+        self.overlay.use_metrics(registry.clone());
+        self.thas.use_metrics(registry.clone());
+        self.files.use_metrics(registry.clone());
+        self.instruments = CoreInstruments::new(&registry);
+    }
+
+    /// The metrics registry this system records into.
+    pub fn metrics(&self) -> &Registry {
+        self.instruments.registry()
     }
 
     /// Number of live nodes.
@@ -223,7 +243,11 @@ impl TapSystem {
                     .expect("factory exists for every live node");
                 factory.next(&mut self.rng)
             };
-            if self.thas.insert(&self.overlay, secret.hopid, secret.stored()) {
+            if self
+                .thas
+                .insert(&self.overlay, secret.hopid, secret.stored())
+                .unwrap_or(false)
+            {
                 self.anchors.entry(node).or_default().push(secret);
                 done += 1;
             }
@@ -300,7 +324,11 @@ impl TapSystem {
     pub fn store_file(&mut self, data: Vec<u8>) -> Id {
         loop {
             let fid = Id::random(&mut self.rng);
-            if self.files.insert(&self.overlay, fid, StoredFile { data: data.clone() }) {
+            if self
+                .files
+                .insert(&self.overlay, fid, StoredFile { data: data.clone() })
+                .expect("store_file requires a non-empty overlay")
+            {
                 return fid;
             }
         }
@@ -337,6 +365,7 @@ impl TapSystem {
             overlay: &mut self.overlay,
             thas: &self.thas,
             files: &self.files,
+            metrics: Some(&self.instruments),
         };
         retrieval::retrieve(
             &mut self.rng,
@@ -347,9 +376,7 @@ impl TapSystem {
             &rev,
             bid,
             hints.as_ref(),
-            TransitOptions {
-                use_hints,
-            },
+            TransitOptions { use_hints },
         )
     }
 }

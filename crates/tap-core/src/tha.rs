@@ -11,7 +11,6 @@
 //! hash for each known node and link a hopid back to its creator.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use tap_crypto::sha256::sha256;
 use tap_crypto::{derive_id, SymmetricKey};
 use tap_id::{ArcRange, Id};
@@ -28,7 +27,7 @@ pub struct ThaSecret {
 }
 
 /// The stored (public-to-holders) form: `<hopid, K, H(PW)>`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tha {
     /// The hop identifier.
     pub hopid: Id,

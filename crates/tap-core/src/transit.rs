@@ -15,12 +15,14 @@
 //! its tunnel hop node".
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use tap_crypto::onion;
 use tap_id::Id;
 use tap_pastry::storage::ReplicaStore;
 use tap_pastry::{KeyRouter, RouteError};
 
+use crate::metrics::CoreInstruments;
 use crate::tha::Tha;
 use crate::wire::{Destination, HopHeader};
 
@@ -171,6 +173,21 @@ pub fn drive(
     onion_bytes: Vec<u8>,
     options: TransitOptions,
 ) -> Result<(Delivery, TransitReport), TransitError> {
+    drive_instrumented(overlay, thas, from, entry_hop, onion_bytes, options, None)
+}
+
+/// [`drive`], recording per-layer decrypt timings, replica takeovers and
+/// hint-retry counts into `instruments` when provided.
+#[allow(clippy::too_many_arguments)]
+pub fn drive_instrumented(
+    overlay: &mut impl KeyRouter,
+    thas: &ReplicaStore<Tha>,
+    from: Id,
+    entry_hop: Id,
+    onion_bytes: Vec<u8>,
+    options: TransitOptions,
+    instruments: Option<&CoreInstruments>,
+) -> Result<(Delivery, TransitReport), TransitError> {
     let mut report = TransitReport {
         node_path: vec![from],
         ..TransitReport::default()
@@ -187,7 +204,15 @@ pub fn drive(
         let Some(record) = thas.get(hop) else {
             // No THA was ever anchored here: this is a terminal identifier
             // (a reply tunnel's bid). Route the message to its root.
-            self_route(overlay, current_node, hop, hint, &mut report, options)?;
+            self_route(
+                overlay,
+                current_node,
+                hop,
+                hint,
+                &mut report,
+                options,
+                instruments,
+            )?;
             return Ok((
                 Delivery::AtAnchorlessRoot {
                     node: root,
@@ -203,13 +228,32 @@ pub fn drive(
         if !record.holders.contains(&root) {
             return Err(TransitError::ThaLost { hopid: hop });
         }
+        if let Some(ins) = instruments {
+            // holders[0] was the root when the THA was deposited; anyone
+            // else serving the hop is a replica candidate that took over.
+            if record.holders.first() != Some(&root) {
+                ins.record_takeover(hop, root);
+            }
+        }
 
-        self_route(overlay, current_node, hop, hint, &mut report, options)?;
+        self_route(
+            overlay,
+            current_node,
+            hop,
+            hint,
+            &mut report,
+            options,
+            instruments,
+        )?;
         current_node = root;
 
         // The hop node peels one layer with its replica's key.
+        let peel_started = instruments.map(|_| Instant::now());
         let layer = onion::peel(&record.value.key, &onion_bytes)
             .map_err(|_| TransitError::BadLayer { hopid: hop })?;
+        if let (Some(ins), Some(t0)) = (instruments, peel_started) {
+            ins.onion_peel_us.record(t0.elapsed().as_micros() as u64);
+        }
         let header =
             HopHeader::decode(&layer.header).map_err(|_| TransitError::BadLayer { hopid: hop })?;
         report.hops_resolved += 1;
@@ -236,8 +280,13 @@ pub fn drive(
                     }
                     Destination::KeyRoot(key) => {
                         let path = overlay.route_path(current_node, key)?;
+                        // Routers return at least the start node; a router
+                        // that violates that mid-churn is a routing fault,
+                        // not a reason to take the process down.
+                        let Some(&root) = path.last() else {
+                            return Err(RouteError::EmptyOverlay.into());
+                        };
                         report.overlay_hops += path.len() - 1;
-                        let root = *path.last().expect("route paths are non-empty");
                         report.node_path.extend(path.into_iter().skip(1));
                         root
                     }
@@ -262,6 +311,7 @@ fn self_route(
     hint: Option<Id>,
     report: &mut TransitReport,
     options: TransitOptions,
+    instruments: Option<&CoreInstruments>,
 ) -> Result<(), TransitError> {
     if options.use_hints {
         if let Some(h) = hint {
@@ -277,10 +327,13 @@ fn self_route(
                 return Ok(());
             }
             report.hint_misses += 1;
+            if let Some(ins) = instruments {
+                ins.transit_retries.inc();
+            }
         }
     }
     let path = overlay.route_path(current, hop)?;
-    report.overlay_hops += path.len() - 1;
+    report.overlay_hops += path.len().saturating_sub(1);
     report.node_path.extend(path.into_iter().skip(1));
     Ok(())
 }
@@ -323,7 +376,7 @@ mod tests {
         let mut pool = Vec::new();
         for _ in 0..(l * 4) {
             let s = fx.factory.next(&mut fx.rng);
-            fx.thas.insert(&fx.overlay, s.hopid, s.stored());
+            fx.thas.insert(&fx.overlay, s.hopid, s.stored()).unwrap();
             pool.push(s);
         }
         Tunnel::form_scattered(&mut fx.rng, &pool, l, 4).unwrap()

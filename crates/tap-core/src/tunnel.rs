@@ -16,6 +16,7 @@ use rand::Rng;
 
 use tap_id::Id;
 
+use crate::metrics::CoreInstruments;
 use crate::tha::ThaSecret;
 use crate::transit::HintCache;
 use crate::wire::{Destination, HopHeader};
@@ -123,6 +124,19 @@ impl Tunnel {
         core: &[u8],
         hints: Option<&HintCache>,
     ) -> Vec<u8> {
+        self.build_onion_instrumented(rng, dest, core, hints, None)
+    }
+
+    /// [`Tunnel::build_onion`], recording per-layer seal (encrypt) timings
+    /// into `instruments` when provided.
+    pub fn build_onion_instrumented<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        dest: Destination,
+        core: &[u8],
+        hints: Option<&HintCache>,
+        instruments: Option<&CoreInstruments>,
+    ) -> Vec<u8> {
         let layers: Vec<_> = self
             .hops
             .iter()
@@ -140,7 +154,20 @@ impl Tunnel {
                 (hop.key, header.encode())
             })
             .collect();
-        tap_crypto::onion::wrap(rng, &layers, core)
+        match instruments {
+            None => tap_crypto::onion::wrap(rng, &layers, core),
+            Some(ins) => {
+                // Single-layer wraps compose into exactly the same onion;
+                // wrapping one layer at a time makes each seal timeable.
+                let mut inner = core.to_vec();
+                for layer in layers.into_iter().rev() {
+                    let t0 = std::time::Instant::now();
+                    inner = tap_crypto::onion::wrap(rng, &[layer], &inner);
+                    ins.onion_wrap_us.record(t0.elapsed().as_micros() as u64);
+                }
+                inner
+            }
+        }
     }
 }
 
@@ -225,7 +252,11 @@ mod tests {
         assert_eq!(t.len(), 5);
         // With 64 random anchors all 5 first digits are almost surely
         // available; the scatter rule must use them.
-        assert_eq!(t.scatter_score(4), 5, "hops should have distinct first digits");
+        assert_eq!(
+            t.scatter_score(4),
+            5,
+            "hops should have distinct first digits"
+        );
     }
 
     #[test]
@@ -349,7 +380,10 @@ mod tests {
         let h2 = HopHeader::decode(&l2.header).unwrap();
         let h3 = HopHeader::decode(&l3.header).unwrap();
         assert!(matches!(h2, HopHeader::Forward { .. }));
-        assert!(matches!(h3, HopHeader::Forward { .. }), "tail looks like a middle hop");
+        assert!(
+            matches!(h3, HopHeader::Forward { .. }),
+            "tail looks like a middle hop"
+        );
         assert!(!l3.inner.is_empty());
     }
 }

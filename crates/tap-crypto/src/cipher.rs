@@ -7,7 +7,6 @@
 //! can reject tampered or mis-keyed layers instead of forwarding garbage.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::chacha20::{self, KEY_LEN, NONCE_LEN};
 use crate::hmac::{derive_key, hmac_sha256, verify_tag};
@@ -39,7 +38,7 @@ impl std::fmt::Display for CipherError {
 impl std::error::Error for CipherError {}
 
 /// A 256-bit symmetric key (the `K` in a THA `<hopid, K, H(PW)>`).
-#[derive(Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq)]
 pub struct SymmetricKey([u8; KEY_LEN]);
 
 impl std::fmt::Debug for SymmetricKey {
@@ -165,8 +164,14 @@ mod tests {
     fn truncation_rejected() {
         let (k, mut rng) = key(6);
         let sealed = k.seal(&mut rng, b"hello");
-        assert_eq!(k.open(&sealed[..SEAL_OVERHEAD - 1]), Err(CipherError::TooShort));
-        assert_eq!(k.open(&sealed[..sealed.len() - 1]), Err(CipherError::BadTag));
+        assert_eq!(
+            k.open(&sealed[..SEAL_OVERHEAD - 1]),
+            Err(CipherError::TooShort)
+        );
+        assert_eq!(
+            k.open(&sealed[..sealed.len() - 1]),
+            Err(CipherError::BadTag)
+        );
     }
 
     #[test]

@@ -12,13 +12,12 @@
 //!   (crucial: an onion layer must not identify the initiator).
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::cipher::{CipherError, SymmetricKey};
 use crate::x25519;
 
 /// A node's public key.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PublicKey(pub [u8; 32]);
 
 impl std::fmt::Debug for PublicKey {
@@ -70,7 +69,7 @@ impl KeyPair {
 }
 
 /// Anonymous public-key ciphertext: ephemeral key plus sealed payload.
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct SealedBox {
     /// The sender's one-shot ephemeral public key.
     pub ephemeral: PublicKey,

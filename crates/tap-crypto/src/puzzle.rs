@@ -13,12 +13,11 @@
 //! deployment without identifying the depositor.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::sha256::sha256;
 
 /// A puzzle challenge issued by a storing node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Puzzle {
     /// Random challenge bytes (prevents precomputation).
     pub challenge: [u8; 16],
@@ -27,7 +26,7 @@ pub struct Puzzle {
 }
 
 /// A claimed solution to a [`Puzzle`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PuzzleSolution {
     /// The nonce found by the solver.
     pub nonce: u64,

@@ -134,17 +134,13 @@ impl Fe {
         let a = &self.0;
         let b = &rhs.0;
         let m = |x: u64, y: u64| x as u128 * y as u128;
-        let r0 = m(a[0], b[0])
-            + 19 * (m(a[1], b[4]) + m(a[2], b[3]) + m(a[3], b[2]) + m(a[4], b[1]));
-        let r1 = m(a[0], b[1])
-            + m(a[1], b[0])
-            + 19 * (m(a[2], b[4]) + m(a[3], b[3]) + m(a[4], b[2]));
-        let r2 = m(a[0], b[2])
-            + m(a[1], b[1])
-            + m(a[2], b[0])
-            + 19 * (m(a[3], b[4]) + m(a[4], b[3]));
-        let r3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0])
-            + 19 * m(a[4], b[4]);
+        let r0 =
+            m(a[0], b[0]) + 19 * (m(a[1], b[4]) + m(a[2], b[3]) + m(a[3], b[2]) + m(a[4], b[1]));
+        let r1 =
+            m(a[0], b[1]) + m(a[1], b[0]) + 19 * (m(a[2], b[4]) + m(a[3], b[3]) + m(a[4], b[2]));
+        let r2 =
+            m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + 19 * (m(a[3], b[4]) + m(a[4], b[3]));
+        let r3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + 19 * m(a[4], b[4]);
         let r4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
 
         let mut t = [0u64; 5];
@@ -289,8 +285,7 @@ mod tests {
     // RFC 7748 §5.2 test vector 1.
     #[test]
     fn rfc7748_vector1() {
-        let scalar =
-            unhex32("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let scalar = unhex32("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
         let u = unhex32("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
         assert_eq!(
             hex(&x25519(&scalar, &u)),
@@ -301,8 +296,7 @@ mod tests {
     // RFC 7748 §5.2 test vector 2.
     #[test]
     fn rfc7748_vector2() {
-        let scalar =
-            unhex32("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+        let scalar = unhex32("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
         let u = unhex32("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
         assert_eq!(
             hex(&x25519(&scalar, &u)),
@@ -342,8 +336,7 @@ mod tests {
     fn rfc7748_dh_exchange() {
         let alice_priv =
             unhex32("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
-        let bob_priv =
-            unhex32("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+        let bob_priv = unhex32("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
         let alice_pub = public_key(&alice_priv);
         let bob_pub = public_key(&bob_priv);
         assert_eq!(

@@ -5,7 +5,6 @@ use std::fmt;
 use std::str::FromStr;
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Width of an identifier in bits.
 pub const ID_BITS: u32 = 160;
@@ -17,7 +16,7 @@ pub const ID_BYTES: usize = 20;
 /// Used for node ids, file ids, and TAP hop ids alike. Stored big-endian so
 /// that byte-wise lexicographic order equals numeric order, which lets
 /// `Ord`/`Eq` derive straight from the array.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Id([u8; ID_BYTES]);
 
 impl Id {

@@ -8,14 +8,13 @@
 
 use crate::{digits_for, Id};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A half-open clockwise arc `(start, end]` of the identifier ring.
 ///
 /// Like [`Id::between_cw`], the start is exclusive and the end inclusive,
 /// which makes consecutive arcs tile the ring without overlap. An arc with
 /// `start == end` covers the whole ring.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ArcRange {
     start: Id,
     end: Id,
@@ -114,10 +113,7 @@ impl ArcRange {
         debug_assert!(span > Id::ZERO);
         // Build a byte mask covering exactly the significant bits of span.
         let sb = span.as_bytes();
-        let top = sb
-            .iter()
-            .position(|&b| b != 0)
-            .expect("span is non-zero");
+        let top = sb.iter().position(|&b| b != 0).expect("span is non-zero");
         let mut mask = [0u8; crate::ID_BYTES];
         mask[top] = if sb[top].leading_zeros() == 0 {
             0xff
@@ -231,6 +227,43 @@ mod tests {
         assert_eq!(arc.len_saturating(), 4);
     }
 
+    /// Regression pin for `proptest-regressions/range.txt`: the shrunk case
+    /// is the all-zero id with `plen = 2` (seed 3533236062246287576). Every
+    /// prefix bucket of the all-zero id *wraps the ring origin* — its
+    /// exclusive start is `Id::MAX` — so any sampler that computed
+    /// `start + offset` without 160-bit wraparound, or mishandled the
+    /// one-id-wide bucket at `plen = total`, would land outside the prefix.
+    /// Exercise those buckets deterministically across many streams.
+    #[test]
+    fn regression_wrapped_bucket_sampling_keeps_prefix() {
+        let total = crate::digits_for(4);
+        for a in [Id::ZERO, Id::MAX] {
+            for plen in [1usize, 2, total - 1, total] {
+                let bucket = ArcRange::prefix_bucket(a, plen, 4);
+                assert!(bucket.contains(a), "{a} missing from its own bucket");
+                for seed in (0..64u64).chain([3533236062246287576]) {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    for _ in 0..16 {
+                        let s = bucket.sample(&mut rng);
+                        assert!(
+                            a.shared_prefix_digits(s, 4) >= plen,
+                            "sample {s} left the plen={plen} bucket of {a}"
+                        );
+                    }
+                }
+            }
+        }
+        // The all-zero id's buckets wrap: exclusive start above inclusive end.
+        let wrapped = ArcRange::prefix_bucket(Id::ZERO, 2, 4);
+        assert!(wrapped.start() > wrapped.end());
+        assert_eq!(wrapped.start(), Id::MAX);
+        // The one-id-wide bucket straddling the origin is (MAX, 0].
+        let point = ArcRange::prefix_bucket(Id::ZERO, total, 4);
+        assert_eq!(point.len_saturating(), 1);
+        let mut rng = StdRng::seed_from_u64(3533236062246287576);
+        assert_eq!(point.sample(&mut rng), Id::ZERO);
+    }
+
     proptest! {
         #[test]
         fn prop_prefix_bucket_contains_exactly_matching_prefixes(
@@ -244,7 +277,7 @@ mod tests {
 
         #[test]
         fn prop_sampling_preserves_prefix(
-            a in any::<[u8; 20]>(), plen in 1usize..=6, seed in any::<u64>()
+            a in any::<[u8; 20]>(), plen in 1usize..=40, seed in any::<u64>()
         ) {
             let a = Id::from_bytes(a);
             let bucket = ArcRange::prefix_bucket(a, plen, 4);

@@ -88,7 +88,11 @@ mod tests {
         let mut nic = Nic::new(T1_5_MBPS);
         nic.transmit(SimTime::ZERO, 150_000); // busy until 0.8s
         let late = nic.transmit(SimTime::from_micros(2_000_000), 150_000);
-        assert_eq!(late.as_micros(), 2_800_000, "starts at `now`, not at busy_until");
+        assert_eq!(
+            late.as_micros(),
+            2_800_000,
+            "starts at `now`, not at busy_until"
+        );
     }
 
     #[test]

@@ -74,7 +74,9 @@ impl LatencyModel for UniformLatency {
         } else {
             (b.index() as u64, a.index() as u64)
         };
-        let h = splitmix64(self.seed ^ splitmix64(lo ^ splitmix64(hi.wrapping_mul(0xA24BAED4963EE407))));
+        let h = splitmix64(
+            self.seed ^ splitmix64(lo ^ splitmix64(hi.wrapping_mul(0xA24BAED4963EE407))),
+        );
         let span = self.max.as_micros() - self.min.as_micros() + 1;
         SimDuration::from_micros(self.min.as_micros() + h % span)
     }
@@ -200,7 +202,8 @@ mod tests {
     fn distinct_seeds_give_distinct_matrices() {
         let m1 = UniformLatency::paper(1);
         let m2 = UniformLatency::paper(2);
-        let differs = (0..100usize).any(|i| m1.delay(ep(i), ep(i + 1)) != m2.delay(ep(i), ep(i + 1)));
+        let differs =
+            (0..100usize).any(|i| m1.delay(ep(i), ep(i + 1)) != m2.delay(ep(i), ep(i + 1)));
         assert!(differs);
     }
 

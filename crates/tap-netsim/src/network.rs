@@ -2,6 +2,9 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use tap_metrics::{Counter, Histogram, Registry};
 
 use crate::bandwidth::Nic;
 use crate::latency::LatencyModel;
@@ -112,7 +115,32 @@ enum Pending<M> {
         sent_at: SimTime,
         payload: M,
     },
-    Timer(TimerToken),
+    Timer {
+        token: TimerToken,
+        scheduled: SimTime,
+    },
+}
+
+/// Cached instrument handles so the hot send/deliver path records without
+/// touching the registry's name map.
+struct NetInstruments {
+    registry: Registry,
+    queue_delay_us: Arc<Histogram>,
+    propagation_us: Arc<Histogram>,
+    timer_lag_us: Arc<Histogram>,
+    dropped: Arc<Counter>,
+}
+
+impl NetInstruments {
+    fn new(registry: Registry) -> Self {
+        NetInstruments {
+            queue_delay_us: registry.histogram("netsim.queue_delay_us"),
+            propagation_us: registry.histogram("netsim.propagation_us"),
+            timer_lag_us: registry.histogram("netsim.timer_lag_us"),
+            dropped: registry.counter("netsim.messages_dropped"),
+            registry,
+        }
+    }
 }
 
 struct HeapEntry<M> {
@@ -152,10 +180,12 @@ pub struct Network<M, L: LatencyModel = crate::latency::UniformLatency> {
     nics: Vec<Nic>,
     alive: Vec<bool>,
     stats: TrafficStats,
+    instruments: NetInstruments,
 }
 
 impl<M, L: LatencyModel> Network<M, L> {
-    /// A new, empty network.
+    /// A new, empty network recording into its own private metrics
+    /// registry (share one across subsystems with [`Network::use_metrics`]).
     pub fn new(config: NetworkConfig, latency: L) -> Self {
         Network {
             config,
@@ -166,7 +196,19 @@ impl<M, L: LatencyModel> Network<M, L> {
             nics: Vec::new(),
             alive: Vec::new(),
             stats: TrafficStats::default(),
+            instruments: NetInstruments::new(Registry::new()),
         }
+    }
+
+    /// Record into `registry` from now on (earlier samples stay in the old
+    /// registry). Lets one registry aggregate the whole simulation stack.
+    pub fn use_metrics(&mut self, registry: Registry) {
+        self.instruments = NetInstruments::new(registry);
+    }
+
+    /// The metrics registry this network records into.
+    pub fn metrics(&self) -> &Registry {
+        &self.instruments.registry
     }
 
     /// Attach a new, live endpoint.
@@ -224,15 +266,35 @@ impl<M, L: LatencyModel> Network<M, L> {
     /// sends) + propagation delay + receiver processing delay. Whether the
     /// receiver is alive is checked at *delivery* time, so a message can be
     /// outrun by a failure, exactly the race TAP's replica failover handles.
-    pub fn send(&mut self, src: EndpointId, dst: EndpointId, bytes: u64, payload: M) -> Option<SimTime> {
+    pub fn send(
+        &mut self,
+        src: EndpointId,
+        dst: EndpointId,
+        bytes: u64,
+        payload: M,
+    ) -> Option<SimTime> {
         if !self.alive[src.index()] {
             self.stats.messages_dropped += 1;
+            self.instruments.dropped.inc();
+            self.instruments.registry.emit(
+                self.now.as_micros(),
+                "netsim.drop",
+                format!("dead sender {}", src.index()),
+            );
             return None;
         }
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += bytes;
         let tx_done = self.nics[src.index()].transmit(self.now, bytes);
-        let arrive = tx_done + self.latency.delay(src, dst) + self.config.processing_delay;
+        let propagation = self.latency.delay(src, dst);
+        // Queueing = FIFO wait behind earlier sends plus serialization.
+        self.instruments
+            .queue_delay_us
+            .record((tx_done - self.now).as_micros());
+        self.instruments
+            .propagation_us
+            .record(propagation.as_micros());
+        let arrive = tx_done + propagation + self.config.processing_delay;
         self.push(
             arrive,
             Pending::Message {
@@ -249,7 +311,13 @@ impl<M, L: LatencyModel> Network<M, L> {
     /// Schedule a timer `after` from now carrying `token`.
     pub fn set_timer(&mut self, after: SimDuration, token: TimerToken) -> SimTime {
         let at = self.now + after;
-        self.push(at, Pending::Timer(token));
+        self.push(
+            at,
+            Pending::Timer {
+                token,
+                scheduled: at,
+            },
+        );
         at
     }
 
@@ -272,11 +340,23 @@ impl<M, L: LatencyModel> Network<M, L> {
             debug_assert!(entry.at >= self.now, "time must be monotone");
             self.now = entry.at;
             match entry.pending {
-                Pending::Timer(token) => {
+                Pending::Timer { token, scheduled } => {
+                    // In virtual time the lag is zero by construction; the
+                    // histogram pins that invariant and counts fires, and
+                    // any nonzero drift is journaled loudly.
+                    let lag = (entry.at - scheduled).as_micros();
+                    self.instruments.timer_lag_us.record(lag);
+                    if lag != 0 {
+                        self.instruments.registry.emit(
+                            entry.at.as_micros(),
+                            "netsim.timer_drift",
+                            format!("token {} fired {lag}us late", token.0),
+                        );
+                    }
                     return Some(Event::Timer {
                         token,
                         at: entry.at,
-                    })
+                    });
                 }
                 Pending::Message {
                     src,
@@ -287,6 +367,12 @@ impl<M, L: LatencyModel> Network<M, L> {
                 } => {
                     if !self.alive[dst.index()] {
                         self.stats.messages_dropped += 1;
+                        self.instruments.dropped.inc();
+                        self.instruments.registry.emit(
+                            entry.at.as_micros(),
+                            "netsim.drop",
+                            format!("dead receiver {}", dst.index()),
+                        );
                         continue;
                     }
                     self.stats.messages_delivered += 1;
@@ -510,6 +596,40 @@ mod tests {
         assert_eq!(s.messages_sent, sent);
         assert_eq!(s.messages_delivered, sent - to_dead);
         assert_eq!(s.messages_dropped, to_dead);
+    }
+
+    #[test]
+    fn metrics_capture_delays_and_drops() {
+        let mut n = net();
+        let registry = tap_metrics::Registry::new();
+        registry.install_journal(16);
+        n.use_metrics(registry.clone());
+        let a = n.add_endpoint();
+        let b = n.add_endpoint();
+        n.send(a, b, 1_500, 1); // 8ms serialization
+        n.send(a, b, 1_500, 2); // queues behind the first: 16ms from now
+        n.set_timer(SimDuration::from_millis(1), TimerToken(7));
+        n.kill(b);
+        while n.next_event().is_some() {}
+
+        let report = registry.snapshot();
+        let queue = report.histogram("netsim.queue_delay_us").unwrap();
+        assert_eq!(queue.count, 2);
+        assert_eq!(queue.min, 8_000);
+        assert_eq!(queue.max, 16_000);
+        let prop = report.histogram("netsim.propagation_us").unwrap();
+        assert_eq!(prop.count, 2);
+        assert_eq!(prop.min, prop.max, "same pair, same propagation");
+        let lag = report.histogram("netsim.timer_lag_us").unwrap();
+        assert_eq!((lag.count, lag.max), (1, 0), "virtual timers never drift");
+        assert_eq!(report.counter("netsim.messages_dropped"), 2);
+        assert_eq!(report.events.len(), 2, "one journal entry per drop");
+        assert!(report.events.iter().all(|e| e.kind == "netsim.drop"));
+        // The network's own traffic stats and the registry must agree.
+        assert_eq!(
+            n.stats().messages_dropped,
+            report.counter("netsim.messages_dropped")
+        );
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Overlay parameters.
 
-use serde::{Deserialize, Serialize};
-
 /// Static Pastry/PAST parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PastryConfig {
     /// Bits per identifier digit. Pastry's `b`; the paper notes "a typical
     /// value of 4" (§5), giving hexadecimal digits and `log_16 N` routing.

@@ -7,11 +7,10 @@
 //! root plus its nearest leaves). Leaf sets are kept eagerly consistent
 //! under churn by [`crate::Overlay`].
 
-use serde::{Deserialize, Serialize};
 use tap_id::Id;
 
 /// A node's leaf set.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LeafSet {
     owner: Id,
     half: usize,
@@ -164,9 +163,8 @@ fn is_sorted_by_cw_distance(owner: Id, xs: &[Id]) -> bool {
 }
 
 fn is_sorted_by_ccw_distance(owner: Id, xs: &[Id]) -> bool {
-    xs.windows(2).all(|w| {
-        owner.counter_clockwise_distance(w[0]) <= owner.counter_clockwise_distance(w[1])
-    })
+    xs.windows(2)
+        .all(|w| owner.counter_clockwise_distance(w[0]) <= owner.counter_clockwise_distance(w[1]))
 }
 
 #[cfg(test)]

@@ -16,9 +16,11 @@
 //!   prefix and strictly closer numerically).
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 use rand::Rng;
 use tap_id::Id;
+use tap_metrics::{Counter, Histogram, Registry};
 
 use crate::config::PastryConfig;
 use crate::leafset::LeafSet;
@@ -86,6 +88,26 @@ impl RouteOutcome {
     }
 }
 
+/// Cached instrument handles; route() is the simulator's hottest loop.
+#[derive(Clone)]
+struct OverlayInstruments {
+    registry: Registry,
+    route_hops: Arc<Histogram>,
+    leafset_repairs: Arc<Counter>,
+    table_evictions: Arc<Counter>,
+}
+
+impl OverlayInstruments {
+    fn new(registry: Registry) -> Self {
+        OverlayInstruments {
+            route_hops: registry.histogram("pastry.route.hops"),
+            leafset_repairs: registry.counter("pastry.leafset.repairs"),
+            table_evictions: registry.counter("pastry.table.evictions"),
+            registry,
+        }
+    }
+}
+
 /// A simulated Pastry overlay.
 #[derive(Clone)]
 pub struct Overlay {
@@ -97,10 +119,12 @@ pub struct Overlay {
     /// size, which skews relay selection statistics in the experiments).
     order: Vec<Id>,
     pos: HashMap<Id, usize>,
+    instruments: OverlayInstruments,
 }
 
 impl Overlay {
-    /// An empty overlay.
+    /// An empty overlay recording into its own private metrics registry
+    /// (share one across subsystems with [`Overlay::use_metrics`]).
     pub fn new(config: PastryConfig) -> Self {
         config.validate();
         Overlay {
@@ -109,7 +133,19 @@ impl Overlay {
             ring: BTreeSet::new(),
             order: Vec::new(),
             pos: HashMap::new(),
+            instruments: OverlayInstruments::new(Registry::new()),
         }
+    }
+
+    /// Record into `registry` from now on. Clones of the overlay share the
+    /// same registry handle.
+    pub fn use_metrics(&mut self, registry: Registry) {
+        self.instruments = OverlayInstruments::new(registry);
+    }
+
+    /// The metrics registry this overlay records into.
+    pub fn metrics(&self) -> &Registry {
+        &self.instruments.registry
     }
 
     /// The overlay's configuration.
@@ -185,16 +221,11 @@ impl Overlay {
     /// Up to `n` live ids counter-clockwise from `from` (exclusive).
     pub fn predecessors(&self, from: Id, n: usize) -> Vec<Id> {
         let mut out = Vec::with_capacity(n);
-        for id in self
-            .ring
-            .range(..from)
-            .rev()
-            .chain(self.ring.range((
-                std::ops::Bound::Excluded(from),
-                std::ops::Bound::Unbounded,
-            ))
-            .rev())
-        {
+        for id in self.ring.range(..from).rev().chain(
+            self.ring
+                .range((std::ops::Bound::Excluded(from), std::ops::Bound::Unbounded))
+                .rev(),
+        ) {
             if out.len() == n {
                 break;
             }
@@ -317,6 +348,7 @@ impl Overlay {
             let peer = self.nodes.get_mut(m).expect("leafset members are live");
             peer.leafset.rebuild(cw, ccw);
             peer.table.consider(id);
+            self.instruments.leafset_repairs.inc();
         }
         true
     }
@@ -349,6 +381,7 @@ impl Overlay {
             let node = self.nodes.get_mut(&a).expect("affected node is live");
             if node.leafset.contains(id) || node.leafset.len() < 2 * half {
                 node.leafset.rebuild(cw, ccw);
+                self.instruments.leafset_repairs.inc();
             }
             node.table.evict(id);
         }
@@ -394,10 +427,11 @@ impl Overlay {
             let (next, went_greedy) = self.forward_from(current, key, ring_mode)?;
             match next {
                 None => {
+                    self.instruments.route_hops.record(path.len() as u64 - 1);
                     return Ok(RouteOutcome {
                         path,
                         root: current,
-                    })
+                    });
                 }
                 Some(n) => {
                     if !ring_mode && visited.contains(&n) {
@@ -457,6 +491,7 @@ impl Overlay {
                     .expect("current is live")
                     .table
                     .evict(h);
+                self.instruments.table_evictions.inc();
             }
         }
 
@@ -493,6 +528,7 @@ impl Overlay {
             let node = self.nodes.get_mut(&current).expect("current is live");
             for s in stale {
                 node.table.evict(s);
+                self.instruments.table_evictions.inc();
             }
         }
         if !ring_mode {

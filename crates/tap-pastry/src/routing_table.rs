@@ -12,11 +12,10 @@
 //! few hundred bytes of table per node instead of the 15 KB a dense
 //! 40-row matrix would take.
 
-use serde::{Deserialize, Serialize};
 use tap_id::Id;
 
 /// One node's routing table.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoutingTable {
     owner: Id,
     b: u32,
@@ -169,7 +168,11 @@ impl RoutingTable {
                         r,
                         "entry {id} in wrong row {r}"
                     );
-                    assert_eq!(id.digit(r, self.b) as usize, c, "entry {id} in wrong col {c}");
+                    assert_eq!(
+                        id.digit(r, self.b) as usize,
+                        c,
+                        "entry {id} in wrong col {c}"
+                    );
                     assert_ne!(*id, self.owner, "owner must not appear in own table");
                 }
             }

@@ -192,16 +192,19 @@ pub fn redundant_route<R: rand::Rng + ?Sized>(
     let mut claims = Vec::new();
     let mut dropped = 0usize;
     let mut total_hops = 0usize;
-    let run_leg =
-        |overlay: &mut Overlay, start: Id, target: Id, total_hops: &mut usize| -> Result<Option<Id>, SecureRouteError> {
-            match adversarial_route(overlay, behavior, start, target)? {
-                AttemptOutcome::Claimed { root, hops, .. } => {
-                    *total_hops += hops;
-                    Ok(Some(root))
-                }
-                AttemptOutcome::Dropped { .. } => Ok(None),
+    let run_leg = |overlay: &mut Overlay,
+                   start: Id,
+                   target: Id,
+                   total_hops: &mut usize|
+     -> Result<Option<Id>, SecureRouteError> {
+        match adversarial_route(overlay, behavior, start, target)? {
+            AttemptOutcome::Claimed { root, hops, .. } => {
+                *total_hops += hops;
+                Ok(Some(root))
             }
-        };
+            AttemptOutcome::Dropped { .. } => Ok(None),
+        }
+    };
 
     for copy in 0..fanout {
         if copy == 0 {
@@ -388,12 +391,7 @@ mod tests {
         (ov, rng)
     }
 
-    fn mark(
-        ov: &Overlay,
-        rng: &mut StdRng,
-        p: f64,
-        how: NodeBehavior,
-    ) -> BehaviorMap {
+    fn mark(ov: &Overlay, rng: &mut StdRng, p: f64, how: NodeBehavior) -> BehaviorMap {
         let count = (ov.len() as f64 * p).round() as usize;
         ov.ids()
             .choose_multiple(rng, count)
@@ -525,12 +523,7 @@ mod tests {
                 let want = ov
                     .k_closest(key, ov.len())
                     .into_iter()
-                    .find(|n| {
-                        !matches!(
-                            behavior.get(n),
-                            Some(NodeBehavior::Drop)
-                        )
-                    })
+                    .find(|n| !matches!(behavior.get(n), Some(NodeBehavior::Drop)))
                     .unwrap();
                 if out.root == want {
                     correct += 1;
@@ -553,7 +546,11 @@ mod tests {
             let out = iterative_secure_lookup(&mut ov, &behavior, from, key, 200).unwrap();
             assert_eq!(out.root, ov.owner_of(key).unwrap());
             assert_eq!(out.unresponsive, 0);
-            assert!(out.queries <= 40, "honest lookups stay cheap: {}", out.queries);
+            assert!(
+                out.queries <= 40,
+                "honest lookups stay cheap: {}",
+                out.queries
+            );
         }
     }
 
@@ -633,9 +630,7 @@ mod tests {
         // no copy can reach the root in a single (unfiltered) hop.
         let key = loop {
             let k = Id::random(&mut rng);
-            if ov.owner_of(k) != Some(from)
-                && ov.route(from, k).unwrap().hops() >= 2
-            {
+            if ov.owner_of(k) != Some(from) && ov.route(from, k).unwrap().hops() >= 2 {
                 break k;
             }
         };

@@ -17,10 +17,35 @@
 //!   churn experiment is exactly this set growing over time.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use tap_id::Id;
+use tap_metrics::{Counter, Registry};
 
 use crate::substrate::KeyRouter;
+
+/// Why a storage operation could not complete. Replication state depends on
+/// overlay membership, which churns underneath the store — these conditions
+/// are environmental, not caller bugs, so they surface as errors rather
+/// than panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageError {
+    /// The overlay has no live nodes to replicate onto (every node failed
+    /// or left before the insert).
+    EmptyOverlay,
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::EmptyOverlay => {
+                write!(f, "cannot replicate into an empty overlay")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
 
 /// A stored object and its replication state.
 #[derive(Debug, Clone)]
@@ -35,6 +60,26 @@ pub struct ObjectRecord<V> {
     pub ever_held: HashSet<Id>,
 }
 
+/// Cached instrument handles for the store's churn-repair paths.
+#[derive(Debug, Clone)]
+struct StoreInstruments {
+    registry: Registry,
+    inserts: Arc<Counter>,
+    evictions: Arc<Counter>,
+    repairs: Arc<Counter>,
+}
+
+impl StoreInstruments {
+    fn new(registry: Registry) -> Self {
+        StoreInstruments {
+            inserts: registry.counter("pastry.replica.inserts"),
+            evictions: registry.counter("pastry.replica.evictions"),
+            repairs: registry.counter("pastry.replica.repairs"),
+            registry,
+        }
+    }
+}
+
 /// The replication manager.
 #[derive(Debug, Clone)]
 pub struct ReplicaStore<V> {
@@ -42,17 +87,30 @@ pub struct ReplicaStore<V> {
     objects: HashMap<Id, ObjectRecord<V>>,
     /// Inverted index: node → object keys it currently holds.
     held: HashMap<Id, HashSet<Id>>,
+    instruments: StoreInstruments,
 }
 
 impl<V> ReplicaStore<V> {
-    /// A store with replication factor `k`.
+    /// A store with replication factor `k`, recording into its own private
+    /// metrics registry (share one with [`ReplicaStore::use_metrics`]).
     pub fn new(k: usize) -> Self {
         assert!(k >= 1, "replication factor must be at least 1");
         ReplicaStore {
             k,
             objects: HashMap::new(),
             held: HashMap::new(),
+            instruments: StoreInstruments::new(Registry::new()),
         }
+    }
+
+    /// Record into `registry` from now on.
+    pub fn use_metrics(&mut self, registry: Registry) {
+        self.instruments = StoreInstruments::new(registry);
+    }
+
+    /// The metrics registry this store records into.
+    pub fn metrics(&self) -> &Registry {
+        &self.instruments.registry
     }
 
     /// The replication factor.
@@ -71,17 +129,23 @@ impl<V> ReplicaStore<V> {
     }
 
     /// Store `value` under `key`, replicating onto the `k` closest live
-    /// nodes of `overlay`. Returns `false` if the key is already present
-    /// (PAST insertions are immutable; TAP deletes then redeploys).
-    pub fn insert(&mut self, overlay: &impl KeyRouter, key: Id, value: V) -> bool {
+    /// nodes of `overlay`. Returns `Ok(false)` if the key is already
+    /// present (PAST insertions are immutable; TAP deletes then redeploys)
+    /// and [`StorageError::EmptyOverlay`] if there is no live node left to
+    /// hold a replica.
+    pub fn insert(
+        &mut self,
+        overlay: &impl KeyRouter,
+        key: Id,
+        value: V,
+    ) -> Result<bool, StorageError> {
         if self.objects.contains_key(&key) {
-            return false;
+            return Ok(false);
         }
         let holders = overlay.replica_set(key, self.k);
-        assert!(
-            !holders.is_empty(),
-            "cannot replicate into an empty overlay"
-        );
+        if holders.is_empty() {
+            return Err(StorageError::EmptyOverlay);
+        }
         for h in &holders {
             self.held.entry(*h).or_default().insert(key);
         }
@@ -94,7 +158,8 @@ impl<V> ReplicaStore<V> {
                 ever_held,
             },
         );
-        true
+        self.instruments.inserts.inc();
+        Ok(true)
     }
 
     /// Fetch an object's record.
@@ -124,7 +189,10 @@ impl<V> ReplicaStore<V> {
 
     /// Current holders of `key`, nearest first (empty if unknown key).
     pub fn holders(&self, key: Id) -> &[Id] {
-        self.objects.get(&key).map(|r| r.holders.as_slice()).unwrap_or(&[])
+        self.objects
+            .get(&key)
+            .map(|r| r.holders.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Keys currently held by `node`.
@@ -138,12 +206,20 @@ impl<V> ReplicaStore<V> {
     }
 
     fn reassign(&mut self, key: Id, new_holders: Vec<Id>) {
-        let rec = self.objects.get_mut(&key).expect("reassigning known key");
+        // The inverted index can only reference stored keys; tolerate a
+        // desynced index (churn-repair races in future async callers)
+        // instead of crashing the node.
+        debug_assert!(self.objects.contains_key(&key), "reassigning known key");
+        let Some(rec) = self.objects.get_mut(&key) else {
+            return;
+        };
         if rec.holders == new_holders {
             return;
         }
+        self.instruments.repairs.inc();
         for h in &rec.holders {
             if !new_holders.contains(h) {
+                self.instruments.evictions.inc();
                 if let Some(set) = self.held.get_mut(h) {
                     set.remove(&key);
                     if set.is_empty() {
@@ -245,7 +321,7 @@ mod tests {
         let (ov, mut rng) = build(100, 1);
         let mut store = ReplicaStore::new(3);
         let key = Id::random(&mut rng);
-        assert!(store.insert(&ov, key, "tha"));
+        assert!(store.insert(&ov, key, "tha").unwrap());
         assert_eq!(store.holders(key), ov.k_closest(key, 3));
         store.assert_replica_invariant(&ov);
     }
@@ -255,8 +331,8 @@ mod tests {
         let (ov, mut rng) = build(20, 2);
         let mut store = ReplicaStore::new(3);
         let key = Id::random(&mut rng);
-        assert!(store.insert(&ov, key, 1));
-        assert!(!store.insert(&ov, key, 2));
+        assert!(store.insert(&ov, key, 1).unwrap());
+        assert!(!store.insert(&ov, key, 2).unwrap());
         assert_eq!(store.get(key).unwrap().value, 1);
     }
 
@@ -265,7 +341,7 @@ mod tests {
         let (ov, mut rng) = build(50, 3);
         let mut store = ReplicaStore::new(3);
         let key = Id::random(&mut rng);
-        store.insert(&ov, key, 7u32);
+        store.insert(&ov, key, 7u32).unwrap();
         let holder = store.holders(key)[0];
         assert_eq!(store.remove(key), Some(7));
         assert_eq!(store.remove(key), None);
@@ -278,7 +354,7 @@ mod tests {
         let (mut ov, mut rng) = build(100, 4);
         let mut store = ReplicaStore::new(3);
         let key = Id::random(&mut rng);
-        store.insert(&ov, key, ());
+        store.insert(&ov, key, ()).unwrap();
         let before = store.holders(key).to_vec();
         // Kill the root (the tunnel hop node).
         ov.remove_node(before[0]);
@@ -296,7 +372,7 @@ mod tests {
         let (mut ov, mut rng) = build(100, 5);
         let mut store = ReplicaStore::new(3);
         let key = Id::random(&mut rng);
-        store.insert(&ov, key, ());
+        store.insert(&ov, key, ()).unwrap();
         // Join a node directly adjacent to the key: it must become root.
         let adjacent = key.wrapping_add(Id::from_u64(1));
         assert!(ov.add_node(adjacent));
@@ -310,7 +386,7 @@ mod tests {
         let (mut ov, mut rng) = build(60, 6);
         let mut store = ReplicaStore::new(3);
         let key = Id::random(&mut rng);
-        store.insert(&ov, key, ());
+        store.insert(&ov, key, ()).unwrap();
         let displaced = store.holders(key)[2];
         let adjacent = key.wrapping_add(Id::from_u64(1));
         ov.add_node(adjacent);
@@ -324,7 +400,7 @@ mod tests {
         let (mut ov, mut rng) = build(120, 7);
         let mut store = ReplicaStore::new(3);
         for _ in 0..200 {
-            store.insert(&ov, Id::random(&mut rng), ());
+            store.insert(&ov, Id::random(&mut rng), ()).unwrap();
         }
         for round in 0..60 {
             if rng.gen_bool(0.5) {
@@ -347,7 +423,7 @@ mod tests {
         let (mut ov, mut rng) = build(80, 8);
         let mut store = ReplicaStore::new(3);
         let key = Id::random(&mut rng);
-        store.insert(&ov, key, ());
+        store.insert(&ov, key, ()).unwrap();
         let mut prev: HashSet<Id> = store.get(key).unwrap().ever_held.clone();
         for _ in 0..30 {
             let victim = ov.random_node(&mut rng).unwrap();
@@ -366,7 +442,7 @@ mod tests {
         let (ov, mut rng) = build(2, 9);
         let mut store = ReplicaStore::new(5);
         let key = Id::random(&mut rng);
-        store.insert(&ov, key, ());
+        store.insert(&ov, key, ()).unwrap();
         assert_eq!(store.holders(key).len(), 2, "only 2 nodes exist");
     }
 
@@ -377,7 +453,7 @@ mod tests {
         let mut keys = Vec::new();
         for _ in 0..50 {
             let k = Id::random(&mut rng);
-            store.insert(&ov, k, ());
+            store.insert(&ov, k, ()).unwrap();
             keys.push(k);
         }
         let mut total = 0;

@@ -24,6 +24,7 @@ pub fn run(scale: &Scale) -> Series {
     let (k, l) = (3, 5);
     let p = 0.1;
     let mut tb = Testbed::build(scale.nodes, scale.tunnels, k, l, scale.seed ^ 0xF165);
+    tb.apply_journal(scale);
 
     // The collusion is fixed for the whole run; churn only moves benign
     // nodes ("malicious nodes instead can try to stay in system as long as
@@ -31,13 +32,7 @@ pub fn run(scale: &Scale) -> Series {
     let collusion = Collusion::mark_fraction(&tb.overlay, &mut tb.rng, p);
 
     let unrefreshed_ids = tb.hop_id_lists();
-    let mut refreshed = deploy_tunnels(
-        &tb.overlay,
-        &mut tb.thas,
-        &mut tb.rng,
-        scale.tunnels,
-        l,
-    );
+    let mut refreshed = deploy_tunnels(&tb.overlay, &mut tb.thas, &mut tb.rng, scale.tunnels, l);
 
     let mut series = Series::new(
         "Fig. 5 — corrupted tunnels over time under churn (k=3, l=5, p=0.1)",
@@ -78,14 +73,9 @@ pub fn run(scale: &Scale) -> Series {
 
         // Refresh: tear the refreshed population down and rebuild it.
         retire_tunnels(&mut tb.thas, &refreshed);
-        refreshed = deploy_tunnels(
-            &tb.overlay,
-            &mut tb.thas,
-            &mut tb.rng,
-            scale.tunnels,
-            l,
-        );
+        refreshed = deploy_tunnels(&tb.overlay, &mut tb.thas, &mut tb.rng, scale.tunnels, l);
     }
+    series.metrics_json = Some(tb.metrics_json());
     series
 }
 
@@ -118,6 +108,7 @@ mod tests {
             churn_units: 20,
             churn_per_unit: 40,
             seed: 17,
+            journal_cap: 0,
         }
     }
 

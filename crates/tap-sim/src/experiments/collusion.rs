@@ -27,6 +27,7 @@ const DRAWS: usize = 5;
 pub fn run(scale: &Scale) -> Series {
     let (k, l) = (3, 5);
     let mut tb = Testbed::build(scale.nodes, scale.tunnels, k, l, scale.seed ^ 0xF163);
+    tb.apply_journal(scale);
     let hop_lists = tb.hop_id_lists();
 
     let mut series = Series::new(
@@ -44,6 +45,7 @@ pub fn run(scale: &Scale) -> Series {
         let analytic = (1.0 - (1.0 - p).powi(k as i32)).powi(l as i32);
         series.push(p, vec![total / DRAWS as f64, analytic]);
     }
+    series.metrics_json = Some(tb.metrics_json());
     series
 }
 
@@ -60,6 +62,7 @@ mod tests {
             churn_units: 1,
             churn_per_unit: 1,
             seed: 99,
+            journal_cap: 0,
         }
     }
 
@@ -71,7 +74,10 @@ mod tests {
 
         // Monotone (weakly) increasing in p.
         for w in measured.windows(2) {
-            assert!(w[1] + 0.02 >= w[0], "corruption should grow with p: {measured:?}");
+            assert!(
+                w[1] + 0.02 >= w[0],
+                "corruption should grow with p: {measured:?}"
+            );
         }
         // "There is no significant tunnels corrupted even if p is large
         // enough (e.g., 0.3)": the paper's own plot tops out well under
@@ -90,10 +96,7 @@ mod tests {
         let measured = s.column("corrupted").unwrap();
         let model = s.column("analytic").unwrap();
         for (m, a) in measured.iter().zip(model.iter()) {
-            assert!(
-                (m - a).abs() < 0.06,
-                "measured {m:.4} vs analytic {a:.4}"
-            );
+            assert!((m - a).abs() < 0.06, "measured {m:.4} vs analytic {a:.4}");
         }
     }
 }

@@ -17,11 +17,13 @@ use std::collections::HashMap;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use tap_core::metrics::CoreInstruments;
 use tap_core::tha::{Tha, ThaFactory};
 use tap_core::transit::{self, HintCache, TransitOptions};
 use tap_core::tunnel::Tunnel;
 use tap_core::wire::Destination;
 use tap_id::Id;
+use tap_metrics::Registry;
 use tap_netsim::latency::{EuclideanLatency, LatencyModel, UniformLatency};
 use tap_netsim::{EndpointId, Event, Network, NetworkConfig, SimDuration};
 use tap_pastry::storage::ReplicaStore;
@@ -67,6 +69,8 @@ pub fn run(scale: &Scale) -> Series {
 /// Run the experiment under a chosen topology model (the topology
 /// ablation compares the two).
 pub fn run_with_model(scale: &Scale, model: TopologyModel) -> Series {
+    let metrics = Registry::new();
+    super::apply_journal(&metrics, scale);
     let mut series = Series::new(
         format!(
             "Fig. 6 — 2 Mb transfer latency (seconds) vs. number of peer nodes [{model:?} links]"
@@ -91,12 +95,14 @@ pub fn run_with_model(scale: &Scale, model: TopologyModel) -> Series {
                     scale.latency_transfers,
                     seed,
                     UniformLatency::paper(seed ^ 0x1a7e),
+                    &metrics,
                 ),
                 TopologyModel::Euclidean => simulate_one(
                     n,
                     scale.latency_transfers,
                     seed,
                     EuclideanLatency::paper(seed ^ 0x1a7e),
+                    &metrics,
                 ),
             };
             for s in per_transfer.iter().enumerate() {
@@ -104,25 +110,33 @@ pub fn run_with_model(scale: &Scale, model: TopologyModel) -> Series {
             }
         }
         let denom = (scale.latency_sims * scale.latency_transfers) as f64;
-        series.push(
-            n as f64,
-            sums.iter().map(|s| s / denom).collect(),
-        );
+        series.push(n as f64, sums.iter().map(|s| s / denom).collect());
     }
+    series.metrics_json = Some(metrics.snapshot().to_json());
     series
 }
 
 /// One simulation at size `n`: returns summed seconds per variant.
-fn simulate_one<L: LatencyModel>(n: usize, transfers: usize, seed: u64, latency: L) -> [f64; 5] {
+fn simulate_one<L: LatencyModel>(
+    n: usize,
+    transfers: usize,
+    seed: u64,
+    latency: L,
+    metrics: &Registry,
+) -> [f64; 5] {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut overlay = Overlay::new(PastryConfig::paper_defaults());
+    overlay.use_metrics(metrics.clone());
     let mut net: Network<usize, L> = Network::new(NetworkConfig::paper_defaults(), latency);
+    net.use_metrics(metrics.clone());
     let mut endpoint_of: HashMap<Id, EndpointId> = HashMap::with_capacity(n);
     for _ in 0..n {
         let id = overlay.add_random_node(&mut rng);
         endpoint_of.insert(id, net.add_endpoint());
     }
     let mut thas: ReplicaStore<Tha> = ReplicaStore::new(3);
+    thas.use_metrics(metrics.clone());
+    let instruments = CoreInstruments::new(metrics);
 
     let mut sums = [0.0f64; 5];
     for _ in 0..transfers {
@@ -149,6 +163,7 @@ fn simulate_one<L: LatencyModel>(n: usize, transfers: usize, seed: u64, latency:
                 fid,
                 l,
                 hinted,
+                &instruments,
             );
             sums[slot + 1] += replay(&mut net, &endpoint_of, &path).as_secs_f64();
         }
@@ -158,6 +173,7 @@ fn simulate_one<L: LatencyModel>(n: usize, transfers: usize, seed: u64, latency:
 
 /// Build a fresh tunnel of length `l` for `initiator`, drive the transfer
 /// header through it, and return the node-level path the file follows.
+#[allow(clippy::too_many_arguments)]
 fn tap_path(
     overlay: &mut Overlay,
     thas: &mut ReplicaStore<Tha>,
@@ -166,12 +182,16 @@ fn tap_path(
     fid: Id,
     l: usize,
     hinted: bool,
+    instruments: &CoreInstruments,
 ) -> Vec<Id> {
     let mut factory = ThaFactory::new(rng, initiator);
     let mut hops = Vec::with_capacity(l);
     while hops.len() < l {
         let s = factory.next(rng);
-        if thas.insert(overlay, s.hopid, s.stored()) {
+        if thas
+            .insert(overlay, s.hopid, s.stored())
+            .expect("testbed overlay is non-empty")
+        {
             hops.push(s);
         }
     }
@@ -181,14 +201,21 @@ fn tap_path(
         cache.refresh(overlay, &tunnel.hop_ids());
         cache
     });
-    let onion = tunnel.build_onion(rng, Destination::KeyRoot(fid), b"push", hints.as_ref());
-    let (_, report) = transit::drive(
+    let onion = tunnel.build_onion_instrumented(
+        rng,
+        Destination::KeyRoot(fid),
+        b"push",
+        hints.as_ref(),
+        Some(instruments),
+    );
+    let (_, report) = transit::drive_instrumented(
         overlay,
         thas,
         initiator,
         tunnel.entry_hopid(),
         onion,
         TransitOptions { use_hints: hinted },
+        Some(instruments),
     )
     .expect("static network: tunnels cannot break mid-experiment");
     for h in &hops {
@@ -242,6 +269,7 @@ mod tests {
             churn_units: 1,
             churn_per_unit: 1,
             seed: 3,
+            journal_cap: 0,
         }
     }
 
@@ -309,10 +337,8 @@ mod tests {
 
     #[test]
     fn replay_costs_match_hand_arithmetic() {
-        let mut net: Network<usize, UniformLatency> = Network::new(
-            NetworkConfig::paper_defaults(),
-            UniformLatency::paper(9),
-        );
+        let mut net: Network<usize, UniformLatency> =
+            Network::new(NetworkConfig::paper_defaults(), UniformLatency::paper(9));
         let a = net.add_endpoint();
         let b = net.add_endpoint();
         let c = net.add_endpoint();
@@ -322,9 +348,8 @@ mod tests {
         map.insert(ib, b);
         map.insert(ic, c);
         let d = replay(&mut net, &map, &[ia, ib, ic]);
-        let expect = SimDuration::from_micros(2 * 1_333_334)
-            + net.link_delay(a, b)
-            + net.link_delay(b, c);
+        let expect =
+            SimDuration::from_micros(2 * 1_333_334) + net.link_delay(a, b) + net.link_delay(b, c);
         assert_eq!(d, expect);
         // Degenerate paths cost nothing.
         assert_eq!(replay(&mut net, &map, &[ia]), SimDuration::ZERO);

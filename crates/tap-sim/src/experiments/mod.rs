@@ -10,8 +10,10 @@ pub mod sweeps;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::Scale;
 use tap_core::tha::{Tha, ThaFactory, ThaSecret};
 use tap_id::Id;
+use tap_metrics::Registry;
 use tap_pastry::storage::ReplicaStore;
 use tap_pastry::{Overlay, PastryConfig};
 
@@ -35,6 +37,8 @@ pub struct Testbed {
     pub k: usize,
     /// Tunnel length in force.
     pub l: usize,
+    /// Shared metrics registry every testbed subsystem records into.
+    pub metrics: Registry,
 }
 
 /// One tunnel in the testbed.
@@ -57,11 +61,14 @@ impl Testbed {
     /// anchors replicated `k` ways.
     pub fn build(nodes: usize, tunnels: usize, k: usize, l: usize, seed: u64) -> Testbed {
         let mut rng = StdRng::seed_from_u64(seed);
+        let metrics = Registry::new();
         let mut overlay = Overlay::new(PastryConfig::with_replication(k));
+        overlay.use_metrics(metrics.clone());
         for _ in 0..nodes {
             overlay.add_random_node(&mut rng);
         }
         let mut thas = ReplicaStore::new(k);
+        thas.use_metrics(metrics.clone());
         let records = deploy_tunnels(&overlay, &mut thas, &mut rng, tunnels, l);
         Testbed {
             overlay,
@@ -70,12 +77,32 @@ impl Testbed {
             rng,
             k,
             l,
+            metrics,
         }
+    }
+
+    /// Snapshot the shared registry as a serialized [`tap_metrics::MetricsReport`].
+    pub fn metrics_json(&self) -> String {
+        self.metrics.snapshot().to_json()
+    }
+
+    /// Apply the `--journal N` verbosity knob to this testbed's registry.
+    pub fn apply_journal(&self, scale: &Scale) {
+        apply_journal(&self.metrics, scale);
     }
 
     /// Every tunnel's hop-id list (the shape the adversary analysis takes).
     pub fn hop_id_lists(&self) -> Vec<Vec<Id>> {
         self.tunnels.iter().map(TunnelRecord::hop_ids).collect()
+    }
+}
+
+/// Install an event journal on `metrics` when [`Scale::journal_cap`] is
+/// nonzero (the CLI's `--journal N`); otherwise events stay dropped and
+/// the report carries counters and histograms only.
+pub fn apply_journal(metrics: &Registry, scale: &Scale) {
+    if scale.journal_cap > 0 {
+        metrics.install_journal(scale.journal_cap);
     }
 }
 
@@ -95,7 +122,10 @@ pub fn deploy_tunnels(
         let mut hops = Vec::with_capacity(l);
         while hops.len() < l {
             let s = factory.next(rng);
-            if thas.insert(overlay, s.hopid, s.stored()) {
+            if thas
+                .insert(overlay, s.hopid, s.stored())
+                .expect("testbed overlay is non-empty")
+            {
                 hops.push(s);
             }
         }
@@ -129,6 +159,27 @@ mod tests {
             assert_eq!(t.hops.len(), 5);
             assert!(tb.overlay.is_live(t.initiator));
         }
+    }
+
+    #[test]
+    fn journal_flag_selects_event_verbosity() {
+        // journal_cap = 0 (the default): events are dropped.
+        let mut scale = Scale::quick();
+        let tb = Testbed::build(100, 5, 3, 3, 9);
+        tb.apply_journal(&scale);
+        tb.metrics.emit(1, "test.event", "no journal installed");
+        assert!(tb.metrics.snapshot().events.is_empty());
+
+        // --journal 4: the most recent 4 events reach the report.
+        scale.journal_cap = 4;
+        tb.apply_journal(&scale);
+        for i in 0..6 {
+            tb.metrics.emit(i, "test.event", format!("#{i}"));
+        }
+        let events = tb.metrics.snapshot().events;
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].detail, "#2");
+        assert_eq!(events[3].detail, "#5");
     }
 
     #[test]

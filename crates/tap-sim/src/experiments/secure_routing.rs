@@ -39,7 +39,10 @@ const TRIALS: usize = 120;
 /// misrouters the plausibility test alone is already decisive).
 pub fn run(scale: &Scale) -> Series {
     let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(scale.seed ^ 0x5EC);
+    let metrics = tap_metrics::Registry::new();
+    super::apply_journal(&metrics, scale);
     let mut overlay = Overlay::new(PastryConfig::paper_defaults());
+    overlay.use_metrics(metrics.clone());
     for _ in 0..scale.nodes {
         overlay.add_random_node(&mut rng);
     }
@@ -87,9 +90,7 @@ pub fn run(scale: &Scale) -> Series {
                     naive_ok += 1;
                 }
             }
-            if let Ok(out) =
-                redundant_route(&mut overlay, &behavior, &mut rng, from, key, FANOUT)
-            {
+            if let Ok(out) = redundant_route(&mut overlay, &behavior, &mut rng, from, key, FANOUT) {
                 redundant_hops += out.total_hops;
                 if out.root == want {
                     redundant_ok += 1;
@@ -113,6 +114,7 @@ pub fn run(scale: &Scale) -> Series {
             ],
         );
     }
+    series.metrics_json = Some(metrics.snapshot().to_json());
     series
 }
 
@@ -138,6 +140,7 @@ mod tests {
             churn_units: 1,
             churn_per_unit: 1,
             seed: 31,
+            journal_cap: 0,
         }
     }
 

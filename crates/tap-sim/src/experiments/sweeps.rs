@@ -33,6 +33,7 @@ pub fn by_replication(scale: &Scale) -> Series {
     let l = 5;
     // Build once at k=3, then re-replicate the same hopids at each k.
     let mut tb = Testbed::build(scale.nodes, scale.tunnels, 3, l, scale.seed ^ 0xF164A);
+    tb.apply_journal(scale);
     let hop_lists = tb.hop_id_lists();
 
     let mut series = Series::new(
@@ -51,6 +52,7 @@ pub fn by_replication(scale: &Scale) -> Series {
         let analytic = (1.0 - (1.0 - P_MALICIOUS).powi(k as i32)).powi(l as i32);
         series.push(k as f64, vec![total / DRAWS as f64, analytic]);
     }
+    series.metrics_json = Some(tb.metrics_json());
     series
 }
 
@@ -65,8 +67,10 @@ pub fn by_length(scale: &Scale) -> Series {
 
     // One overlay reused across lengths; fresh tunnels per length.
     let mut tb = Testbed::build(scale.nodes, 0, k, 1, scale.seed ^ 0xF164B);
+    tb.apply_journal(scale);
     for &l in &TUNNEL_LENGTHS {
         let mut store: ReplicaStore<Tha> = ReplicaStore::new(k);
+        store.use_metrics(tb.metrics.clone());
         let tunnels = deploy_tunnels(&tb.overlay, &mut store, &mut tb.rng, scale.tunnels, l);
         let hop_lists: Vec<Vec<Id>> = tunnels.iter().map(|t| t.hop_ids()).collect();
         let mut total = 0.0;
@@ -77,14 +81,18 @@ pub fn by_length(scale: &Scale) -> Series {
         let analytic = (1.0 - (1.0 - P_MALICIOUS).powi(k as i32)).powi(l as i32);
         series.push(l as f64, vec![total / DRAWS as f64, analytic]);
     }
+    series.metrics_json = Some(tb.metrics_json());
     series
 }
 
 fn restore_with_k(tb: &Testbed, k: usize) -> ReplicaStore<Tha> {
     let mut store = ReplicaStore::new(k);
+    store.use_metrics(tb.metrics.clone());
     for t in &tb.tunnels {
         for h in &t.hops {
-            store.insert(&tb.overlay, h.hopid, h.stored());
+            store
+                .insert(&tb.overlay, h.hopid, h.stored())
+                .expect("testbed overlay is non-empty");
         }
     }
     store
@@ -103,6 +111,7 @@ mod tests {
             churn_units: 1,
             churn_per_unit: 1,
             seed: 5,
+            journal_cap: 0,
         }
     }
 

@@ -48,6 +48,12 @@ pub struct Scale {
     pub churn_per_unit: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Event-journal capacity for the metrics registry: `0` (the default)
+    /// records counters/histograms only; `N > 0` additionally keeps the
+    /// most recent `N` events (e.g. `core.tha.takeover`) in the emitted
+    /// [`MetricsReport`](tap_metrics::MetricsReport) JSON. Set from the
+    /// CLI with `--journal N`.
+    pub journal_cap: usize,
 }
 
 impl Scale {
@@ -65,6 +71,7 @@ impl Scale {
             churn_units: 100,
             churn_per_unit: 100,
             seed: 20040815, // ICPP 2004
+            journal_cap: 0,
         }
     }
 
@@ -81,6 +88,7 @@ impl Scale {
             churn_units: 12,
             churn_per_unit: 50,
             seed: 20040815,
+            journal_cap: 0,
         }
     }
 

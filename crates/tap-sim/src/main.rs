@@ -2,11 +2,15 @@
 //!
 //! ```text
 //! tap-sim <fig2|fig3|fig4a|fig4b|fig5|fig6|secure|all> \
-//!         [--paper] [--seed N] [--nodes N] [--tunnels N] [--csv DIR]
+//!         [--paper] [--seed N] [--nodes N] [--tunnels N] [--journal N] [--csv DIR]
 //! ```
 //!
 //! Default scale is `quick` (seconds); `--paper` runs the published
 //! parameters (10^4 nodes, 5 000 tunnels, 30×1 000 transfers — minutes).
+//! `--journal N` selects journal verbosity: each experiment's metrics
+//! registry keeps the most recent `N` events (takeovers, drops, …) and
+//! includes them in the emitted MetricsReport JSON; without it only
+//! counters and histograms are reported.
 //! `all` runs the experiments on parallel threads (they are independent
 //! deterministic simulations) and prints the figures in order.
 
@@ -17,7 +21,7 @@ use tap_sim::{experiments, Scale, Series};
 fn usage() -> ! {
     eprintln!(
         "usage: tap-sim <fig2|fig3|fig4a|fig4b|fig5|fig6|secure|all> \
-       [--paper] [--seed N] [--nodes N] [--tunnels N] [--csv DIR]"
+       [--paper] [--seed N] [--nodes N] [--tunnels N] [--journal N] [--csv DIR]"
     );
     std::process::exit(2);
 }
@@ -45,6 +49,10 @@ fn main() {
             "--tunnels" => {
                 let v = iter.next().unwrap_or_else(|| usage());
                 scale.tunnels = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--journal" => {
+                let v = iter.next().unwrap_or_else(|| usage());
+                scale.journal_cap = v.parse().unwrap_or_else(|_| usage());
             }
             "--csv" => {
                 csv_dir = Some(iter.next().unwrap_or_else(|| usage()).clone());
@@ -106,12 +114,20 @@ fn main() {
             scale.nodes,
             scale.tunnels
         );
+        if let Some(json) = &series.metrics_json {
+            println!("metrics {name} {json}\n");
+        }
         if let Some(dir) = &csv_dir {
             std::fs::create_dir_all(dir).expect("create csv dir");
             let path = format!("{dir}/{name}.csv");
             let mut f = std::fs::File::create(&path).expect("create csv file");
             f.write_all(series.to_csv().as_bytes()).expect("write csv");
             println!("wrote {path}");
+            if let Some(json) = &series.metrics_json {
+                let mpath = format!("{dir}/{name}.metrics.json");
+                std::fs::write(&mpath, json).expect("write metrics json");
+                println!("wrote {mpath}");
+            }
         }
     }
 }

@@ -28,6 +28,9 @@ pub struct Series {
     pub columns: Vec<String>,
     /// The measured rows, in x order.
     pub rows: Vec<SeriesRow>,
+    /// Structured observability: the `tap_metrics::MetricsReport` of the
+    /// run that produced this series, serialized to JSON.
+    pub metrics_json: Option<String>,
 }
 
 impl Series {
@@ -42,6 +45,7 @@ impl Series {
             x_label: x_label.into(),
             columns,
             rows: Vec::new(),
+            metrics_json: None,
         }
     }
 
@@ -136,11 +140,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Series {
-        let mut s = Series::new(
-            "Fig. X",
-            "p",
-            vec!["measured".into(), "analytic".into()],
-        );
+        let mut s = Series::new("Fig. X", "p", vec!["measured".into(), "analytic".into()]);
         s.push(0.1, vec![0.41, 0.40951]);
         s.push(0.2, vec![0.67, 0.67232]);
         s

@@ -38,7 +38,10 @@ fn main() {
     );
 
     println!("corruption (case 1) vs. the two anonymity knobs:");
-    println!("{:>3} {:>3} {:>12} {:>12}", "k", "l", "measured", "analytic");
+    println!(
+        "{:>3} {:>3} {:>12} {:>12}",
+        "k", "l", "measured", "analytic"
+    );
     for &(k, l) in &[(1usize, 5usize), (3, 5), (5, 5), (3, 1), (3, 3), (3, 8)] {
         let mut store: ReplicaStore<Tha> = ReplicaStore::new(k);
         let tunnels = make_tunnels(&overlay, &mut store, &mut rng, TUNNELS, l);
@@ -115,7 +118,10 @@ fn make_tunnels(
             let mut hops = Vec::with_capacity(l);
             while hops.len() < l {
                 let s = factory.next(rng);
-                if store.insert(overlay, s.hopid, s.stored()) {
+                if store
+                    .insert(overlay, s.hopid, s.stored())
+                    .expect("overlay is non-empty")
+                {
                     hops.push(s.hopid);
                 }
             }

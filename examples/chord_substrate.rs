@@ -35,7 +35,10 @@ fn workload(name: &str, overlay: &mut impl KeyRouter, seed: u64, pick: impl Fn(&
     let mut hops = Vec::new();
     while hops.len() < 5 {
         let s = factory.next(&mut rng);
-        if thas.insert(overlay, s.hopid, s.stored()) {
+        if thas
+            .insert(overlay, s.hopid, s.stored())
+            .expect("overlay is non-empty")
+        {
             hops.push(s);
         }
     }

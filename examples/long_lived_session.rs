@@ -39,7 +39,11 @@ fn main() {
         FixedTunnel::form_random(&mut sys.rng, &sys.overlay, user, 5).expect("network big enough");
     println!(
         "TAP tunnel hops: {:?}",
-        tap_tunnel.hop_ids().iter().map(|h| h.to_hex()[..6].to_string()).collect::<Vec<_>>()
+        tap_tunnel
+            .hop_ids()
+            .iter()
+            .map(|h| h.to_hex()[..6].to_string())
+            .collect::<Vec<_>>()
     );
 
     let mut baseline_alive = true;
@@ -68,11 +72,8 @@ fn main() {
         // Keep-alive through the baseline.
         if baseline_alive {
             let payload = format!("keepalive {round}");
-            let onion = baseline.build_onion(
-                &mut sys.rng,
-                Destination::Node(server),
-                payload.as_bytes(),
-            );
+            let onion =
+                baseline.build_onion(&mut sys.rng, Destination::Node(server), payload.as_bytes());
             if baseline.drive(&sys.overlay, onion).is_err() {
                 baseline_alive = false;
                 println!("round {round:3}: baseline tunnel DIED (a relay failed)");

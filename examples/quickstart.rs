@@ -46,7 +46,9 @@ fn main() {
 
     // 5. The same fetch with the §5 address-hint optimization.
     sys.deploy_anchors(user, 12, 16).expect("more anchors");
-    let (_, fast) = sys.retrieve_file(user, fid, true).expect("hinted retrieval");
+    let (_, fast) = sys
+        .retrieve_file(user, fid, true)
+        .expect("hinted retrieval");
     println!(
         "with IP hints: {} overlay hops ({} hint hits)",
         fast.forward.overlay_hops + fast.reply.overlay_hops,

@@ -38,6 +38,8 @@ fn main() {
     let opt5 = last.values[2];
     println!(
         "at N={}: TAP_basic(l=5) costs {:.1}x overt; the §5 hint optimization cuts that to {:.1}x",
-        last.x, basic5 / overt, opt5 / overt
+        last.x,
+        basic5 / overt,
+        opt5 / overt
     );
 }

@@ -69,8 +69,12 @@ fn main() {
     for unit in 1..=200 {
         churn(&mut sys, user, 12);
         let probe_key = Id::random(&mut sys.rng);
-        let onion =
-            neglected.build_onion(&mut sys.rng, Destination::KeyRoot(probe_key), b"probe", None);
+        let onion = neglected.build_onion(
+            &mut sys.rng,
+            Destination::KeyRoot(probe_key),
+            b"probe",
+            None,
+        );
         if transit::drive(
             &mut sys.overlay,
             &sys.thas,

@@ -28,7 +28,11 @@ fn hopids_are_unlinkable_without_hkey() {
         let mut hkey = [0u8; 32];
         hkey[..8].copy_from_slice(&guess.to_be_bytes());
         let forged = ThaFactory::with_hkey(node, hkey);
-        assert_ne!(forged.hopid_at(0), target, "hkey guess {guess} linked the hopid");
+        assert_ne!(
+            forged.hopid_at(0),
+            target,
+            "hkey guess {guess} linked the hopid"
+        );
     }
 }
 
@@ -91,7 +95,7 @@ fn collusion_below_full_knowledge_learns_nothing_decisive() {
     let hops: Vec<_> = (0..4)
         .map(|_| {
             let s = factory.next(&mut rng);
-            thas.insert(&overlay, s.hopid, s.stored());
+            thas.insert(&overlay, s.hopid, s.stored()).unwrap();
             s
         })
         .collect();
@@ -133,7 +137,7 @@ fn corruption_requires_all_hops_statistically() {
             (0..3)
                 .map(|_| {
                     let s = f.next(&mut rng);
-                    thas.insert(&overlay, s.hopid, s.stored());
+                    thas.insert(&overlay, s.hopid, s.stored()).unwrap();
                     s.hopid
                 })
                 .collect()
@@ -193,11 +197,7 @@ fn scattered_tunnels_resist_region_capture() {
     let mut thas: ReplicaStore<Tha> = ReplicaStore::new(3);
 
     // Clustered tunnels: all hops inside the captured region.
-    let bucket = tap::id::ArcRange::prefix_bucket(
-        Id::ZERO.with_digit(0, 4, 0x7),
-        1,
-        4,
-    );
+    let bucket = tap::id::ArcRange::prefix_bucket(Id::ZERO.with_digit(0, 4, 0x7), 1, 4);
     let clustered: Vec<Vec<Id>> = (0..200)
         .map(|_| {
             let initiator = overlay.random_node(&mut rng).unwrap();
@@ -205,7 +205,7 @@ fn scattered_tunnels_resist_region_capture() {
             (0..3)
                 .map(|_| {
                     let s = f.next_in(&mut rng, &bucket);
-                    thas.insert(&overlay, s.hopid, s.stored());
+                    thas.insert(&overlay, s.hopid, s.stored()).unwrap();
                     s.hopid
                 })
                 .collect()
@@ -220,13 +220,9 @@ fn scattered_tunnels_resist_region_capture() {
             [0x1u8, 0x7, 0xc]
                 .iter()
                 .map(|d| {
-                    let b = tap::id::ArcRange::prefix_bucket(
-                        Id::ZERO.with_digit(0, 4, *d),
-                        1,
-                        4,
-                    );
+                    let b = tap::id::ArcRange::prefix_bucket(Id::ZERO.with_digit(0, 4, *d), 1, 4);
                     let s = f.next_in(&mut rng, &b);
-                    thas.insert(&overlay, s.hopid, s.stored());
+                    thas.insert(&overlay, s.hopid, s.stored()).unwrap();
                     s.hopid
                 })
                 .collect()

@@ -18,7 +18,9 @@ fn anonymous_retrieval_with_full_bootstrap() {
     config.puzzle_difficulty = 6;
     let mut sys = TapSystem::bootstrap(config, 300, 1);
     let user = sys.random_node();
-    let deployed = sys.deploy_anchors(user, 10, 12).expect("deployment succeeds");
+    let deployed = sys
+        .deploy_anchors(user, 10, 12)
+        .expect("deployment succeeds");
     assert_eq!(deployed, 10);
 
     let fid = sys.store_file(b"integration payload".to_vec());
@@ -81,12 +83,7 @@ fn deployment_aborts_cleanly_when_no_relays_left() {
     let user = sys.random_node();
     // Kill most of the network so bootstrap paths get flaky, then verify
     // deploy either succeeds fully or reports a structured error.
-    let victims: Vec<Id> = sys
-        .overlay
-        .ids()
-        .filter(|v| *v != user)
-        .take(30)
-        .collect();
+    let victims: Vec<Id> = sys.overlay.ids().filter(|v| *v != user).take(30).collect();
     for v in victims {
         sys.fail_node(v, false);
     }

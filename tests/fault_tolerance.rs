@@ -40,7 +40,7 @@ fn make_tunnel(w: &mut World, l: usize) -> Tunnel {
     let mut hops = Vec::with_capacity(l);
     while hops.len() < l {
         let s = factory.next(&mut w.rng);
-        if w.thas.insert(&w.overlay, s.hopid, s.stored()) {
+        if w.thas.insert(&w.overlay, s.hopid, s.stored()).unwrap() {
             hops.push(s);
         }
     }
@@ -138,8 +138,7 @@ fn tap_outlives_baseline_under_identical_failures() {
         relays
     };
     let _ = baseline;
-    let baseline_tunnel =
-        FixedTunnel::form_random(&mut w.rng, &w.overlay, w.initiator, 5).unwrap();
+    let baseline_tunnel = FixedTunnel::form_random(&mut w.rng, &w.overlay, w.initiator, 5).unwrap();
 
     // Kill one relay of the baseline and one hop node of TAP.
     let baseline_victim = baseline_tunnel.relay_ids()[0];

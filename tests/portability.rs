@@ -45,7 +45,7 @@ fn tunnel(w: &mut ChordWorld, l: usize) -> Tunnel {
     let mut hops = Vec::with_capacity(l);
     while hops.len() < l {
         let s = factory.next(&mut w.rng);
-        if w.thas.insert(&w.overlay, s.hopid, s.stored()) {
+        if w.thas.insert(&w.overlay, s.hopid, s.stored()).unwrap() {
             hops.push(s);
         }
     }
@@ -150,13 +150,15 @@ fn anonymous_retrieval_works_over_chord() {
     let rev = tunnel(&mut w, 3);
     let mut files: ReplicaStore<StoredFile> = ReplicaStore::new(3);
     let fid = Id::random(&mut w.rng);
-    files.insert(
-        &w.overlay,
-        fid,
-        StoredFile {
-            data: b"chord-hosted file".to_vec(),
-        },
-    );
+    files
+        .insert(
+            &w.overlay,
+            fid,
+            StoredFile {
+                data: b"chord-hosted file".to_vec(),
+            },
+        )
+        .unwrap();
     // bid: the initiator must be responsible, i.e. bid ∈ (pred, initiator].
     // One below the initiator's own id is owned by it (successor(bid) =
     // initiator as long as no node sits in between, which a fresh random
@@ -169,6 +171,7 @@ fn anonymous_retrieval_works_over_chord() {
         overlay: &mut w.overlay,
         thas: &w.thas,
         files: &files,
+        metrics: None,
     };
     let (file, report) = retrieval::retrieve(
         &mut w.rng,
@@ -298,7 +301,7 @@ fn substrates_agree_on_tap_semantics() {
     let hops: Vec<_> = (0..3)
         .map(|_| {
             let s = f.next(&mut prng);
-            p_store.insert(&pastry, s.hopid, s.stored());
+            p_store.insert(&pastry, s.hopid, s.stored()).unwrap();
             s
         })
         .collect();
