@@ -120,6 +120,21 @@ impl Collusion {
             if self.members.contains(&f) && self.members.contains(&t))
     }
 
+    /// Number of `tunnels` (given as hop-id lists) corrupted under case 1
+    /// — the numerator of [`Collusion::corruption_rate`], exposed so
+    /// callers can shard a scan across threads and sum the exact counts.
+    pub fn corrupted_count(
+        &self,
+        thas: &ReplicaStore<Tha>,
+        tunnels: &[Vec<Id>],
+        include_history: bool,
+    ) -> usize {
+        tunnels
+            .iter()
+            .filter(|t| self.corrupts_case1(thas, t, include_history))
+            .count()
+    }
+
     /// Fraction of `tunnels` (given as hop-id lists) corrupted under
     /// case 1 — the quantity every anonymity figure plots.
     pub fn corruption_rate(
@@ -131,11 +146,7 @@ impl Collusion {
         if tunnels.is_empty() {
             return 0.0;
         }
-        let corrupted = tunnels
-            .iter()
-            .filter(|t| self.corrupts_case1(thas, t, include_history))
-            .count();
-        corrupted as f64 / tunnels.len() as f64
+        self.corrupted_count(thas, tunnels, include_history) as f64 / tunnels.len() as f64
     }
 }
 

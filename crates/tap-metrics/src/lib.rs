@@ -127,6 +127,22 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Fold an owned snapshot back into this histogram: bucket counts,
+    /// count, and sum add; min/max widen. Empty snapshots are a no-op (so
+    /// an untouched min stays at its sentinel).
+    pub fn absorb(&self, snap: &HistogramSnapshot) {
+        if snap.count == 0 {
+            return;
+        }
+        for b in &snap.buckets {
+            self.buckets[Self::bucket_index(b.lo)].fetch_add(b.count, Ordering::Relaxed);
+        }
+        self.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        self.min.fetch_min(snap.min, Ordering::Relaxed);
+        self.max.fetch_max(snap.max, Ordering::Relaxed);
+    }
+
     /// An owned copy of the current state.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let count = self.count.load(Ordering::Relaxed);
@@ -363,6 +379,31 @@ impl Registry {
                 detail: detail.into(),
             });
         }
+    }
+
+    /// Fold `report` into this registry: counters add, histogram buckets
+    /// add, and events re-emit through the installed sink (so a journal's
+    /// capacity bound still holds). Instruments absent here are created.
+    ///
+    /// This is how per-trial registries from a parallel run collapse into
+    /// one figure-level report: counters and histograms are order-free
+    /// sums, and absorbing in trial order keeps journaled events
+    /// deterministic at any thread count.
+    pub fn absorb(&self, report: &MetricsReport) {
+        for (name, v) in &report.counters {
+            self.counter(name).add(*v);
+        }
+        for (name, h) in &report.histograms {
+            self.histogram(name).absorb(h);
+        }
+        for e in &report.events {
+            self.emit(e.at_micros, &e.kind, e.detail.clone());
+        }
+    }
+
+    /// Snapshot `other` and fold it in — see [`Registry::absorb`].
+    pub fn merge(&self, other: &Registry) {
+        self.absorb(&other.snapshot());
     }
 
     /// An owned snapshot of every instrument (and journaled events, if a
@@ -664,6 +705,64 @@ mod tests {
         let report = r.snapshot();
         assert_eq!(report.events.len(), 1);
         assert_eq!(report.events[0].kind, "kept");
+    }
+
+    #[test]
+    fn merge_preserves_counter_sums() {
+        let total = Registry::new();
+        total.counter("ops").add(2);
+        for n in [3u64, 5] {
+            let part = Registry::new();
+            part.counter("ops").add(n);
+            part.counter("extra").inc();
+            total.merge(&part);
+        }
+        let report = total.snapshot();
+        assert_eq!(report.counter("ops"), 10);
+        assert_eq!(report.counter("extra"), 2);
+    }
+
+    #[test]
+    fn merge_preserves_histogram_shape() {
+        let total = Registry::new();
+        let samples: [&[u64]; 3] = [&[0, 1, 7], &[7, 1 << 40], &[u64::MAX]];
+        let reference = Histogram::new();
+        for part_samples in samples {
+            let part = Registry::new();
+            for &v in part_samples {
+                part.histogram("h").record(v);
+                reference.record(v);
+            }
+            total.merge(&part);
+        }
+        let merged = total.snapshot().histogram("h").unwrap().clone();
+        let expect = reference.snapshot();
+        assert_eq!(merged.buckets, expect.buckets, "bucket counts must add");
+        assert_eq!(merged.count, expect.count);
+        assert_eq!(merged.sum, expect.sum);
+        assert_eq!(merged.min, expect.min);
+        assert_eq!(merged.max, expect.max);
+        // An empty part changes nothing (min sentinel survives).
+        total.absorb(&Registry::new().snapshot());
+        assert_eq!(total.snapshot().histogram("h").unwrap(), &expect);
+    }
+
+    #[test]
+    fn merge_respects_journal_capacity() {
+        let total = Registry::new();
+        total.install_journal(3);
+        for i in 0..2u64 {
+            let part = Registry::new();
+            part.install_journal(8);
+            for j in 0..4u64 {
+                part.emit(i * 10 + j, "trial.event", format!("t{i}e{j}"));
+            }
+            total.merge(&part);
+        }
+        let events = total.snapshot().events;
+        assert_eq!(events.len(), 3, "merged journal stays within its cap");
+        assert_eq!(events[0].detail, "t1e1", "oldest events evicted first");
+        assert_eq!(events[2].detail, "t1e3");
     }
 
     #[test]

@@ -129,6 +129,7 @@ struct NetInstruments {
     propagation_us: Arc<Histogram>,
     timer_lag_us: Arc<Histogram>,
     dropped: Arc<Counter>,
+    bad_endpoint: Arc<Counter>,
 }
 
 impl NetInstruments {
@@ -138,6 +139,7 @@ impl NetInstruments {
             propagation_us: registry.histogram("netsim.propagation_us"),
             timer_lag_us: registry.histogram("netsim.timer_lag_us"),
             dropped: registry.counter("netsim.messages_dropped"),
+            bad_endpoint: registry.counter("netsim.bad_endpoint"),
             registry,
         }
     }
@@ -225,23 +227,47 @@ impl<M, L: LatencyModel> Network<M, L> {
         self.nics.len()
     }
 
-    /// Whether the endpoint is currently live.
+    /// True when `id` belongs to this network instance. An id minted by
+    /// *another* `Network` (or a stale index) is counted and journaled as
+    /// `netsim.bad_endpoint` instead of panicking with an opaque
+    /// out-of-bounds index.
+    fn known_endpoint(&self, id: EndpointId, op: &str) -> bool {
+        if id.index() < self.alive.len() {
+            return true;
+        }
+        self.instruments.bad_endpoint.inc();
+        self.instruments.registry.emit(
+            self.now.as_micros(),
+            "netsim.bad_endpoint",
+            format!("{op} on unknown endpoint {}", id.index()),
+        );
+        false
+    }
+
+    /// Whether the endpoint is currently live. An endpoint from another
+    /// network instance is reported dead (and journaled, see
+    /// [`Network::known_endpoint`]).
     pub fn is_alive(&self, id: EndpointId) -> bool {
-        self.alive[id.index()]
+        self.known_endpoint(id, "is_alive") && self.alive[id.index()]
     }
 
     /// Kill an endpoint: it stops sending, and anything in flight to it is
     /// silently dropped on arrival (fail-stop, like the paper's node
-    /// failures).
+    /// failures). Foreign endpoints are journaled and ignored.
     pub fn kill(&mut self, id: EndpointId) {
-        self.alive[id.index()] = false;
-        self.nics[id.index()].reset(self.now);
+        if self.known_endpoint(id, "kill") {
+            self.alive[id.index()] = false;
+            self.nics[id.index()].reset(self.now);
+        }
     }
 
     /// Revive a previously killed endpoint (a rejoining node; note that in
     /// the overlay a rejoin is a *new* node — the overlay layer decides).
+    /// Foreign endpoints are journaled and ignored.
     pub fn revive(&mut self, id: EndpointId) {
-        self.alive[id.index()] = true;
+        if self.known_endpoint(id, "revive") {
+            self.alive[id.index()] = true;
+        }
     }
 
     /// Current virtual time.
@@ -430,6 +456,35 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(n.next_event().is_none(), "quiescent after one delivery");
+    }
+
+    #[test]
+    fn foreign_endpoints_are_journaled_not_panics() {
+        let mut other = net();
+        for _ in 0..5 {
+            other.add_endpoint();
+        }
+        let foreign = other.add_endpoint(); // index 5 — unknown to `n`
+
+        let mut n = net();
+        let journal = n.metrics().install_journal(8);
+        let a = n.add_endpoint();
+        assert!(n.is_alive(a));
+
+        // A foreign id must not panic: reported dead, kill/revive ignored.
+        assert!(!n.is_alive(foreign));
+        n.kill(foreign);
+        n.revive(foreign);
+        assert!(n.is_alive(a), "known endpoints unaffected");
+
+        let report = n.metrics().snapshot();
+        assert_eq!(report.counter("netsim.bad_endpoint"), 3);
+        let events = journal.snapshot();
+        assert_eq!(events.len(), 3);
+        assert!(events.iter().all(|e| e.kind == "netsim.bad_endpoint"));
+        assert!(events[0].detail.contains("is_alive"));
+        assert!(events[1].detail.contains("kill"));
+        assert!(events[2].detail.contains("revive"));
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Argument parsing for the `tap-sim` binary.
+//!
+//! Lives in the library (not `main.rs`) so flag-order behaviour is
+//! regression-testable: presets are resolved in a first pass and overrides
+//! applied afterwards, so `fig2 --seed 7 --paper` and
+//! `fig2 --paper --seed 7` configure the identical [`Scale`]. (The old
+//! single-pass parser let `--paper` clobber any flag parsed before it.)
+
+use crate::Scale;
+
+/// The usage banner printed alongside every parse error.
+pub const USAGE: &str = "usage: tap-sim <fig2|fig3|fig4a|fig4b|fig5|fig6|secure|all> \
+                         [--paper] [--seed N] [--nodes N] [--tunnels N] [--journal N] \
+                         [--threads N] [--csv DIR]";
+
+/// The figure names the binary accepts (plus the pseudo-figure `all`).
+pub const FIGURES: [&str; 7] = ["fig2", "fig3", "fig4a", "fig4b", "fig5", "fig6", "secure"];
+
+/// A fully parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cli {
+    /// The selected figure, or `"all"`.
+    pub which: String,
+    /// The resolved scale: preset first, overrides applied on top in a
+    /// second pass, so flag order never matters.
+    pub scale: Scale,
+    /// `--paper` was given (the preset the scale started from).
+    pub paper: bool,
+    /// `--threads N`, when given. `None` means "let the binary pick"
+    /// (available parallelism); [`Cli::scale`] keeps the preset's default
+    /// so library callers see a fully resolved value either way.
+    pub threads: Option<usize>,
+    /// `--csv DIR`, when given.
+    pub csv_dir: Option<String>,
+}
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, String> {
+    let v = value.ok_or_else(|| format!("{flag} expects a value"))?;
+    v.parse()
+        .map_err(|_| format!("{flag} expects an unsigned integer, got {v:?}"))
+}
+
+/// Parse the binary's arguments (program name already stripped).
+pub fn parse(args: &[String]) -> Result<Cli, String> {
+    // Pass 1: resolve the preset, so later overrides survive `--paper`
+    // regardless of where it appears on the command line.
+    let paper = args.iter().any(|a| a == "--paper");
+    let mut scale = if paper {
+        Scale::paper()
+    } else {
+        Scale::quick()
+    };
+
+    let mut which: Option<String> = None;
+    let mut threads: Option<usize> = None;
+    let mut csv_dir: Option<String> = None;
+
+    // Pass 2: apply overrides in order.
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--paper" => {}
+            "--seed" => scale.seed = parse_value("--seed", iter.next())?,
+            "--nodes" => scale.nodes = parse_value("--nodes", iter.next())?,
+            "--tunnels" => scale.tunnels = parse_value("--tunnels", iter.next())?,
+            "--journal" => scale.journal_cap = parse_value("--journal", iter.next())?,
+            "--threads" => {
+                let n: usize = parse_value("--threads", iter.next())?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                threads = Some(n);
+            }
+            "--csv" => {
+                csv_dir = Some(
+                    iter.next()
+                        .ok_or_else(|| "--csv expects a directory".to_string())?
+                        .clone(),
+                );
+            }
+            name if !name.starts_with('-') && which.is_none() => {
+                if name != "all" && !FIGURES.contains(&name) {
+                    return Err(format!("unknown figure {name:?}"));
+                }
+                which = Some(name.to_string());
+            }
+            other => return Err(format!("unrecognized argument {other:?}")),
+        }
+    }
+
+    let which = which.ok_or_else(|| "missing figure name".to_string())?;
+    if let Some(n) = threads {
+        scale.threads = n;
+    }
+    Ok(Cli {
+        which,
+        scale,
+        paper,
+        threads,
+        csv_dir,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_line(line: &str) -> Result<Cli, String> {
+        let args: Vec<String> = line.split_whitespace().map(String::from).collect();
+        parse(&args)
+    }
+
+    #[test]
+    fn flag_order_does_not_matter() {
+        // The verified bug: `--paper` used to clobber a `--seed` parsed
+        // before it.
+        let a = parse_line("fig2 --seed 7 --paper").unwrap();
+        let b = parse_line("fig2 --paper --seed 7").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.scale.seed, 7);
+        assert_eq!(a.scale.nodes, Scale::paper().nodes, "preset still applies");
+
+        let c = parse_line("fig6 --nodes 500 --journal 8 --paper --tunnels 9").unwrap();
+        let d = parse_line("fig6 --paper --nodes 500 --tunnels 9 --journal 8").unwrap();
+        assert_eq!(c, d);
+        assert_eq!(c.scale.nodes, 500);
+        assert_eq!(c.scale.tunnels, 9);
+        assert_eq!(c.scale.journal_cap, 8);
+    }
+
+    #[test]
+    fn defaults_are_quick_scale() {
+        let cli = parse_line("all").unwrap();
+        assert_eq!(cli.which, "all");
+        assert!(!cli.paper);
+        assert_eq!(cli.scale, Scale::quick());
+        assert_eq!(cli.threads, None);
+        assert_eq!(cli.csv_dir, None);
+    }
+
+    #[test]
+    fn threads_flag_is_validated() {
+        let cli = parse_line("fig5 --threads 4 --csv out").unwrap();
+        assert_eq!(cli.threads, Some(4));
+        assert_eq!(cli.scale.threads, 4);
+        assert_eq!(cli.csv_dir.as_deref(), Some("out"));
+
+        assert!(parse_line("fig5 --threads 0")
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse_line("fig5 --threads x")
+            .unwrap_err()
+            .contains("unsigned integer"));
+        assert!(parse_line("fig5 --threads").unwrap_err().contains("value"));
+    }
+
+    #[test]
+    fn bad_input_is_rejected_with_context() {
+        assert!(parse_line("").unwrap_err().contains("missing figure"));
+        assert!(parse_line("fig9").unwrap_err().contains("unknown figure"));
+        assert!(parse_line("fig2 --bogus")
+            .unwrap_err()
+            .contains("unrecognized"));
+        assert!(parse_line("fig2 --seed NaN")
+            .unwrap_err()
+            .contains("--seed"));
+        assert!(parse_line("--csv").unwrap_err().contains("directory"));
+    }
+}

@@ -12,12 +12,36 @@
 //! therefore decay monotonically; `refreshed` tunnels (recreated every
 //! unit) only ever expose one unit's worth of migrations.
 
+use tap_core::tha::Tha;
 use tap_core::Collusion;
 use tap_id::Id;
+use tap_pastry::storage::ReplicaStore;
 
+use crate::engine::TrialPool;
 use crate::experiments::{deploy_tunnels, retire_tunnels, Testbed};
 use crate::report::Series;
 use crate::Scale;
+
+/// Corruption rate over `lists`, sharded across the pool's workers. Churn
+/// units are inherently sequential (each mutates the overlay), but the
+/// per-tunnel scan inside a unit is embarrassingly parallel; exact counts
+/// per shard sum to an order-independent total.
+fn parallel_corruption_rate(
+    pool: &TrialPool,
+    collusion: &Collusion,
+    thas: &ReplicaStore<Tha>,
+    lists: &[Vec<Id>],
+) -> f64 {
+    if lists.is_empty() {
+        return 0.0;
+    }
+    let chunk = lists.len().div_ceil(pool.threads());
+    let shards: Vec<&[Vec<Id>]> = lists.chunks(chunk).collect();
+    let counts = pool.run(shards, |_idx, shard, _rng| {
+        collusion.corrupted_count(thas, shard, true)
+    });
+    counts.iter().sum::<usize>() as f64 / lists.len() as f64
+}
 
 /// Run the experiment.
 pub fn run(scale: &Scale) -> Series {
@@ -40,15 +64,18 @@ pub fn run(scale: &Scale) -> Series {
         vec!["unrefreshed".into(), "refreshed".into()],
     );
 
+    let pool = TrialPool::new(scale, "fig5");
+
     // t = 0: before any churn, both populations are at the static rate.
     series.push(
         0.0,
         vec![
-            collusion.corruption_rate(&tb.thas, &unrefreshed_ids, true),
-            collusion.corruption_rate(
+            parallel_corruption_rate(&pool, &collusion, &tb.thas, &unrefreshed_ids),
+            parallel_corruption_rate(
+                &pool,
+                &collusion,
                 &tb.thas,
                 &refreshed.iter().map(|t| t.hop_ids()).collect::<Vec<_>>(),
-                true,
             ),
         ],
     );
@@ -66,9 +93,10 @@ pub fn run(scale: &Scale) -> Series {
             tb.thas.on_node_added(&tb.overlay, id);
         }
 
-        let unrefreshed_rate = collusion.corruption_rate(&tb.thas, &unrefreshed_ids, true);
+        let unrefreshed_rate =
+            parallel_corruption_rate(&pool, &collusion, &tb.thas, &unrefreshed_ids);
         let refreshed_ids: Vec<Vec<Id>> = refreshed.iter().map(|t| t.hop_ids()).collect();
-        let refreshed_rate = collusion.corruption_rate(&tb.thas, &refreshed_ids, true);
+        let refreshed_rate = parallel_corruption_rate(&pool, &collusion, &tb.thas, &refreshed_ids);
         series.push(unit as f64, vec![unrefreshed_rate, refreshed_rate]);
 
         // Refresh: tear the refreshed population down and rebuild it.
@@ -103,12 +131,10 @@ mod tests {
         Scale {
             nodes: 400,
             tunnels: 800,
-            latency_sims: 1,
-            latency_transfers: 1,
             churn_units: 20,
             churn_per_unit: 40,
             seed: 17,
-            journal_cap: 0,
+            ..Scale::quick()
         }
     }
 

@@ -13,6 +13,7 @@
 
 use tap_core::Collusion;
 
+use crate::engine::TrialPool;
 use crate::experiments::Testbed;
 use crate::report::Series;
 use crate::Scale;
@@ -26,7 +27,7 @@ const DRAWS: usize = 5;
 /// Run the experiment.
 pub fn run(scale: &Scale) -> Series {
     let (k, l) = (3, 5);
-    let mut tb = Testbed::build(scale.nodes, scale.tunnels, k, l, scale.seed ^ 0xF163);
+    let tb = Testbed::build(scale.nodes, scale.tunnels, k, l, scale.seed ^ 0xF163);
     tb.apply_journal(scale);
     let hop_lists = tb.hop_id_lists();
 
@@ -36,14 +37,21 @@ pub fn run(scale: &Scale) -> Series {
         vec!["corrupted".into(), "analytic".into()],
     );
 
-    for &p in &MALICIOUS_FRACTIONS {
+    // One trial per malicious fraction: collusion draws come from the
+    // trial's RNG substream, the testbed is shared read-only.
+    let pool = TrialPool::new(scale, "fig3");
+    let tb_ref = &tb;
+    let rows = pool.run(MALICIOUS_FRACTIONS.to_vec(), |_idx, &p, rng| {
         let mut total = 0.0;
         for _ in 0..DRAWS {
-            let collusion = Collusion::mark_fraction(&tb.overlay, &mut tb.rng, p);
-            total += collusion.corruption_rate(&tb.thas, &hop_lists, false);
+            let collusion = Collusion::mark_fraction(&tb_ref.overlay, rng, p);
+            total += collusion.corruption_rate(&tb_ref.thas, &hop_lists, false);
         }
         let analytic = (1.0 - (1.0 - p).powi(k as i32)).powi(l as i32);
-        series.push(p, vec![total / DRAWS as f64, analytic]);
+        vec![total / DRAWS as f64, analytic]
+    });
+    for (&p, row) in MALICIOUS_FRACTIONS.iter().zip(rows) {
+        series.push(p, row);
     }
     series.metrics_json = Some(tb.metrics_json());
     series
@@ -57,12 +65,8 @@ mod tests {
         Scale {
             nodes: 600,
             tunnels: 300,
-            latency_sims: 1,
-            latency_transfers: 1,
-            churn_units: 1,
-            churn_per_unit: 1,
             seed: 99,
-            journal_cap: 0,
+            ..Scale::quick()
         }
     }
 

@@ -29,6 +29,7 @@ use tap_netsim::{EndpointId, Event, Network, NetworkConfig, SimDuration};
 use tap_pastry::storage::ReplicaStore;
 use tap_pastry::{Overlay, PastryConfig};
 
+use crate::engine::TrialPool;
 use crate::report::Series;
 use crate::Scale;
 
@@ -85,29 +86,48 @@ pub fn run_with_model(scale: &Scale, model: TopologyModel) -> Series {
         ],
     );
 
-    for n in network_sizes(scale.nodes) {
+    // The paper's 30 independent simulations per network size are the
+    // trial list: every (size, sim) pair is one trial on its own RNG
+    // substream, each building its own overlay + network + registry, so
+    // the whole figure fans out across workers with no shared state.
+    let sizes = network_sizes(scale.nodes);
+    let trials: Vec<(usize, usize)> = sizes
+        .iter()
+        .flat_map(|&n| (0..scale.latency_sims).map(move |sim| (n, sim)))
+        .collect();
+    let pool = TrialPool::new(scale, "fig6");
+    let results = pool.run(trials, |idx, &(n, _sim), _rng| {
+        let trial_metrics = Registry::new();
+        super::apply_journal(&trial_metrics, scale);
+        let seed = pool.trial_seed(idx);
+        let per_transfer = match model {
+            TopologyModel::Uniform => simulate_one(
+                n,
+                scale.latency_transfers,
+                seed,
+                UniformLatency::paper(seed ^ 0x1a7e),
+                &trial_metrics,
+            ),
+            TopologyModel::Euclidean => simulate_one(
+                n,
+                scale.latency_transfers,
+                seed,
+                EuclideanLatency::paper(seed ^ 0x1a7e),
+                &trial_metrics,
+            ),
+        };
+        (per_transfer, trial_metrics)
+    });
+
+    let mut results = results.into_iter();
+    for &n in &sizes {
         let mut sums = [0.0f64; 5];
-        for sim in 0..scale.latency_sims {
-            let seed = scale.seed ^ 0xF166 ^ ((n as u64) << 20) ^ (sim as u64);
-            let per_transfer = match model {
-                TopologyModel::Uniform => simulate_one(
-                    n,
-                    scale.latency_transfers,
-                    seed,
-                    UniformLatency::paper(seed ^ 0x1a7e),
-                    &metrics,
-                ),
-                TopologyModel::Euclidean => simulate_one(
-                    n,
-                    scale.latency_transfers,
-                    seed,
-                    EuclideanLatency::paper(seed ^ 0x1a7e),
-                    &metrics,
-                ),
-            };
-            for s in per_transfer.iter().enumerate() {
-                sums[s.0] += s.1;
+        for _ in 0..scale.latency_sims {
+            let (per_transfer, trial_metrics) = results.next().expect("one trial per (size, sim)");
+            for (slot, v) in per_transfer.iter().enumerate() {
+                sums[slot] += v;
             }
+            metrics.merge(&trial_metrics);
         }
         let denom = (scale.latency_sims * scale.latency_transfers) as f64;
         series.push(n as f64, sums.iter().map(|s| s / denom).collect());
@@ -266,10 +286,8 @@ mod tests {
             tunnels: 1,
             latency_sims: 2,
             latency_transfers: 12,
-            churn_units: 1,
-            churn_per_unit: 1,
             seed: 3,
-            journal_cap: 0,
+            ..Scale::quick()
         }
     }
 

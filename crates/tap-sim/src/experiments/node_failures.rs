@@ -14,14 +14,17 @@
 
 use std::collections::HashSet;
 
+use rand::rngs::StdRng;
 use rand::seq::IteratorRandom;
 
 use tap_core::transit::{self, TransitError, TransitOptions};
 use tap_core::tunnel::Tunnel;
 use tap_core::wire::Destination;
 use tap_id::Id;
+use tap_metrics::Registry;
 use tap_pastry::storage::ReplicaStore;
 
+use crate::engine::TrialPool;
 use crate::experiments::Testbed;
 use crate::report::Series;
 use crate::Scale;
@@ -75,49 +78,62 @@ pub fn run(scale: &Scale) -> Series {
     );
 
     let all_ids: Vec<Id> = tb.overlay.ids().collect();
-    for &p in &FAILURE_FRACTIONS {
-        let dead_count = ((scale.nodes as f64) * p).round() as usize;
-        let dead: HashSet<Id> = all_ids
-            .iter()
-            .copied()
-            .choose_multiple(&mut tb.rng, dead_count)
-            .into_iter()
-            .collect();
 
-        let mut surveyed = 0usize;
-        let mut base_failed = 0usize;
-        let mut k3_failed = 0usize;
-        let mut k5_failed = 0usize;
-        for (t, relays) in tb.tunnels.iter().zip(baselines.iter()) {
-            if dead.contains(&t.initiator) {
-                continue; // the user is gone; its tunnel is moot, not failed
-            }
-            surveyed += 1;
-            if relays.iter().any(|r| dead.contains(r)) {
-                base_failed += 1;
-            }
-            if tunnel_broken(&tb.thas, t.hop_ids().as_slice(), &dead) {
-                k3_failed += 1;
-            }
-            if tunnel_broken(&thas_k5, t.hop_ids().as_slice(), &dead) {
-                k5_failed += 1;
-            }
-        }
+    // One trial per swept failure fraction. Trials read the shared testbed
+    // and draw their dead sets from private RNG substreams, so the sweep
+    // parallelizes with bit-identical results at any thread count.
+    let pool = TrialPool::new(scale, "fig2");
+    let tb_ref = &tb;
+    let trials = pool.run(
+        FAILURE_FRACTIONS.to_vec(),
+        |_idx, &p, rng: &mut StdRng| -> (Vec<f64>, Registry) {
+            let trial_metrics = Registry::new();
+            crate::experiments::apply_journal(&trial_metrics, scale);
+            let dead_count = ((scale.nodes as f64) * p).round() as usize;
+            let dead: HashSet<Id> = all_ids
+                .iter()
+                .copied()
+                .choose_multiple(rng, dead_count)
+                .into_iter()
+                .collect();
 
-        spot_check_with_transit(&mut tb, &dead, l);
+            let mut surveyed = 0usize;
+            let mut base_failed = 0usize;
+            let mut k3_failed = 0usize;
+            let mut k5_failed = 0usize;
+            for (t, relays) in tb_ref.tunnels.iter().zip(baselines.iter()) {
+                if dead.contains(&t.initiator) {
+                    continue; // the user is gone; its tunnel is moot, not failed
+                }
+                surveyed += 1;
+                if relays.iter().any(|r| dead.contains(r)) {
+                    base_failed += 1;
+                }
+                if tunnel_broken(&tb_ref.thas, t.hop_ids().as_slice(), &dead) {
+                    k3_failed += 1;
+                }
+                if tunnel_broken(&thas_k5, t.hop_ids().as_slice(), &dead) {
+                    k5_failed += 1;
+                }
+            }
 
-        let n = surveyed.max(1) as f64;
-        series.push(
-            p,
-            vec![
+            spot_check_with_transit(tb_ref, &trial_metrics, &dead, rng);
+
+            let n = surveyed.max(1) as f64;
+            let row = vec![
                 base_failed as f64 / n,
                 k3_failed as f64 / n,
                 k5_failed as f64 / n,
                 1.0 - (1.0 - p).powi(l as i32),
                 1.0 - (1.0 - p.powi(3)).powi(l as i32),
                 1.0 - (1.0 - p.powi(5)).powi(l as i32),
-            ],
-        );
+            ];
+            (row, trial_metrics)
+        },
+    );
+    for (&p, (row, trial_metrics)) in FAILURE_FRACTIONS.iter().zip(trials) {
+        series.push(p, row);
+        tb.metrics.merge(&trial_metrics);
     }
     series.metrics_json = Some(tb.metrics_json());
     series
@@ -152,10 +168,23 @@ fn reinsert_with_k(tb: &Testbed, k: usize) -> ReplicaStore<tap_core::tha::Tha> {
 /// Drive a subsample of tunnels through real onion transit on a cloned
 /// overlay with the dead set actually removed, and assert the result
 /// agrees with [`tunnel_broken`]. Keeps the fast predicate honest.
-fn spot_check_with_transit(tb: &mut Testbed, dead: &HashSet<Id>, _l: usize) {
+///
+/// Reads the shared testbed only; the overlay clone records into the
+/// trial's private registry so parallel trials never contend.
+fn spot_check_with_transit(
+    tb: &Testbed,
+    trial_metrics: &Registry,
+    dead: &HashSet<Id>,
+    rng: &mut StdRng,
+) {
     let mut overlay = tb.overlay.clone();
-    for d in dead {
-        overlay.remove_node(*d);
+    overlay.use_metrics(trial_metrics.clone());
+    // Sorted removal: HashSet iteration order varies per instance, and the
+    // repair work each removal triggers must not.
+    let mut dead_sorted: Vec<Id> = dead.iter().copied().collect();
+    dead_sorted.sort();
+    for d in dead_sorted {
+        overlay.remove_node(d);
     }
     let checks = tb.tunnels.len().min(SPOT_CHECKS);
     for i in 0..checks {
@@ -164,13 +193,8 @@ fn spot_check_with_transit(tb: &mut Testbed, dead: &HashSet<Id>, _l: usize) {
             continue;
         }
         let tunnel = Tunnel::new(t.hops.clone());
-        let probe_key = Id::random(&mut tb.rng);
-        let onion = tunnel.build_onion(
-            &mut tb.rng,
-            Destination::KeyRoot(probe_key),
-            b"fig2-probe",
-            None,
-        );
+        let probe_key = Id::random(rng);
+        let onion = tunnel.build_onion(rng, Destination::KeyRoot(probe_key), b"fig2-probe", None);
         let outcome = transit::drive(
             &mut overlay,
             &tb.thas,
@@ -202,12 +226,8 @@ mod tests {
         Scale {
             nodes: 400,
             tunnels: 120,
-            latency_sims: 1,
-            latency_transfers: 1,
-            churn_units: 1,
-            churn_per_unit: 1,
             seed: 42,
-            journal_cap: 0,
+            ..Scale::quick()
         }
     }
 

@@ -23,6 +23,7 @@ use tap_pastry::secure::{
 };
 use tap_pastry::{Overlay, PastryConfig};
 
+use crate::engine::TrialPool;
 use crate::report::Series;
 use crate::Scale;
 
@@ -59,11 +60,20 @@ pub fn run(scale: &Scale) -> Series {
         ],
     );
 
-    for &p in &MALICIOUS_FRACTIONS {
+    // One trial per malicious fraction: each clones the shared overlay
+    // (the routing mechanisms take `&mut`) and records into a private
+    // registry folded back in trial order.
+    let pool = TrialPool::new(scale, "secure");
+    let overlay_ref = &overlay;
+    let trials = pool.run(MALICIOUS_FRACTIONS.to_vec(), |_idx, &p, rng| {
+        let trial_metrics = tap_metrics::Registry::new();
+        super::apply_journal(&trial_metrics, scale);
+        let mut overlay = overlay_ref.clone();
+        overlay.use_metrics(trial_metrics.clone());
         let count = (overlay.len() as f64 * p).round() as usize;
         let behavior: BehaviorMap = overlay
             .ids()
-            .choose_multiple(&mut rng, count)
+            .choose_multiple(rng, count)
             .into_iter()
             .map(|id| (id, NodeBehavior::Drop))
             .collect();
@@ -75,12 +85,12 @@ pub fn run(scale: &Scale) -> Series {
         let mut iterative_queries = 0usize;
         for _ in 0..TRIALS {
             let from = loop {
-                let f = overlay.random_node(&mut rng).expect("non-empty");
+                let f = overlay.random_node(rng).expect("non-empty");
                 if !behavior.contains_key(&f) {
                     break f;
                 }
             };
-            let key = Id::random(&mut rng);
+            let key = Id::random(rng);
             let want = closest_responsive(&overlay, &behavior, key);
 
             if let AttemptOutcome::Claimed { root, .. } =
@@ -90,7 +100,7 @@ pub fn run(scale: &Scale) -> Series {
                     naive_ok += 1;
                 }
             }
-            if let Ok(out) = redundant_route(&mut overlay, &behavior, &mut rng, from, key, FANOUT) {
+            if let Ok(out) = redundant_route(&mut overlay, &behavior, rng, from, key, FANOUT) {
                 redundant_hops += out.total_hops;
                 if out.root == want {
                     redundant_ok += 1;
@@ -103,16 +113,18 @@ pub fn run(scale: &Scale) -> Series {
                 }
             }
         }
-        series.push(
-            p,
-            vec![
-                naive_ok as f64 / TRIALS as f64,
-                redundant_ok as f64 / TRIALS as f64,
-                iterative_ok as f64 / TRIALS as f64,
-                redundant_hops as f64 / TRIALS as f64,
-                iterative_queries as f64 / TRIALS as f64,
-            ],
-        );
+        let row = vec![
+            naive_ok as f64 / TRIALS as f64,
+            redundant_ok as f64 / TRIALS as f64,
+            iterative_ok as f64 / TRIALS as f64,
+            redundant_hops as f64 / TRIALS as f64,
+            iterative_queries as f64 / TRIALS as f64,
+        ];
+        (row, trial_metrics)
+    });
+    for (&p, (row, trial_metrics)) in MALICIOUS_FRACTIONS.iter().zip(trials) {
+        series.push(p, row);
+        metrics.merge(&trial_metrics);
     }
     series.metrics_json = Some(metrics.snapshot().to_json());
     series
@@ -135,12 +147,8 @@ mod tests {
         Scale {
             nodes: 500,
             tunnels: 1,
-            latency_sims: 1,
-            latency_transfers: 1,
-            churn_units: 1,
-            churn_per_unit: 1,
             seed: 31,
-            journal_cap: 0,
+            ..Scale::quick()
         }
     }
 

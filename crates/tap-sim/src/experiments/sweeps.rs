@@ -9,8 +9,10 @@
 use tap_core::tha::Tha;
 use tap_core::Collusion;
 use tap_id::Id;
+use tap_metrics::Registry;
 use tap_pastry::storage::ReplicaStore;
 
+use crate::engine::TrialPool;
 use crate::experiments::{deploy_tunnels, Testbed};
 use crate::report::Series;
 use crate::Scale;
@@ -32,7 +34,7 @@ const DRAWS: usize = 5;
 pub fn by_replication(scale: &Scale) -> Series {
     let l = 5;
     // Build once at k=3, then re-replicate the same hopids at each k.
-    let mut tb = Testbed::build(scale.nodes, scale.tunnels, 3, l, scale.seed ^ 0xF164A);
+    let tb = Testbed::build(scale.nodes, scale.tunnels, 3, l, scale.seed ^ 0xF164A);
     tb.apply_journal(scale);
     let hop_lists = tb.hop_id_lists();
 
@@ -42,15 +44,25 @@ pub fn by_replication(scale: &Scale) -> Series {
         vec!["corrupted".into(), "analytic".into()],
     );
 
-    for &k in &REPLICATION_FACTORS {
-        let store = restore_with_k(&tb, k);
+    // One trial per replication factor: each rebuilds its own store over
+    // the shared hopids and records into a private registry.
+    let pool = TrialPool::new(scale, "fig4a");
+    let tb_ref = &tb;
+    let trials = pool.run(REPLICATION_FACTORS.to_vec(), |_idx, &k, rng| {
+        let trial_metrics = Registry::new();
+        crate::experiments::apply_journal(&trial_metrics, scale);
+        let store = restore_with_k(tb_ref, k, &trial_metrics);
         let mut total = 0.0;
         for _ in 0..DRAWS {
-            let collusion = Collusion::mark_fraction(&tb.overlay, &mut tb.rng, P_MALICIOUS);
+            let collusion = Collusion::mark_fraction(&tb_ref.overlay, rng, P_MALICIOUS);
             total += collusion.corruption_rate(&store, &hop_lists, false);
         }
         let analytic = (1.0 - (1.0 - P_MALICIOUS).powi(k as i32)).powi(l as i32);
-        series.push(k as f64, vec![total / DRAWS as f64, analytic]);
+        (vec![total / DRAWS as f64, analytic], trial_metrics)
+    });
+    for (&k, (row, trial_metrics)) in REPLICATION_FACTORS.iter().zip(trials) {
+        series.push(k as f64, row);
+        tb.metrics.merge(&trial_metrics);
     }
     series.metrics_json = Some(tb.metrics_json());
     series
@@ -65,29 +77,38 @@ pub fn by_length(scale: &Scale) -> Series {
         vec!["corrupted".into(), "analytic".into()],
     );
 
-    // One overlay reused across lengths; fresh tunnels per length.
-    let mut tb = Testbed::build(scale.nodes, 0, k, 1, scale.seed ^ 0xF164B);
+    // One overlay reused across lengths; fresh tunnels per length, each
+    // length an independent trial on its own RNG substream.
+    let tb = Testbed::build(scale.nodes, 0, k, 1, scale.seed ^ 0xF164B);
     tb.apply_journal(scale);
-    for &l in &TUNNEL_LENGTHS {
+    let pool = TrialPool::new(scale, "fig4b");
+    let tb_ref = &tb;
+    let trials = pool.run(TUNNEL_LENGTHS.to_vec(), |_idx, &l, rng| {
+        let trial_metrics = Registry::new();
+        crate::experiments::apply_journal(&trial_metrics, scale);
         let mut store: ReplicaStore<Tha> = ReplicaStore::new(k);
-        store.use_metrics(tb.metrics.clone());
-        let tunnels = deploy_tunnels(&tb.overlay, &mut store, &mut tb.rng, scale.tunnels, l);
+        store.use_metrics(trial_metrics.clone());
+        let tunnels = deploy_tunnels(&tb_ref.overlay, &mut store, rng, scale.tunnels, l);
         let hop_lists: Vec<Vec<Id>> = tunnels.iter().map(|t| t.hop_ids()).collect();
         let mut total = 0.0;
         for _ in 0..DRAWS {
-            let collusion = Collusion::mark_fraction(&tb.overlay, &mut tb.rng, P_MALICIOUS);
+            let collusion = Collusion::mark_fraction(&tb_ref.overlay, rng, P_MALICIOUS);
             total += collusion.corruption_rate(&store, &hop_lists, false);
         }
         let analytic = (1.0 - (1.0 - P_MALICIOUS).powi(k as i32)).powi(l as i32);
-        series.push(l as f64, vec![total / DRAWS as f64, analytic]);
+        (vec![total / DRAWS as f64, analytic], trial_metrics)
+    });
+    for (&l, (row, trial_metrics)) in TUNNEL_LENGTHS.iter().zip(trials) {
+        series.push(l as f64, row);
+        tb.metrics.merge(&trial_metrics);
     }
     series.metrics_json = Some(tb.metrics_json());
     series
 }
 
-fn restore_with_k(tb: &Testbed, k: usize) -> ReplicaStore<Tha> {
+fn restore_with_k(tb: &Testbed, k: usize, metrics: &Registry) -> ReplicaStore<Tha> {
     let mut store = ReplicaStore::new(k);
-    store.use_metrics(tb.metrics.clone());
+    store.use_metrics(metrics.clone());
     for t in &tb.tunnels {
         for h in &t.hops {
             store
@@ -106,12 +127,8 @@ mod tests {
         Scale {
             nodes: 500,
             tunnels: 400,
-            latency_sims: 1,
-            latency_transfers: 1,
-            churn_units: 1,
-            churn_per_unit: 1,
             seed: 5,
-            journal_cap: 0,
+            ..Scale::quick()
         }
     }
 

@@ -26,13 +26,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+pub mod engine;
 pub mod experiments;
 pub mod report;
 
 pub use report::{Series, SeriesRow};
 
 /// Experiment sizing knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Scale {
     /// Live nodes in the overlay.
     pub nodes: usize,
@@ -54,6 +56,11 @@ pub struct Scale {
     /// [`MetricsReport`](tap_metrics::MetricsReport) JSON. Set from the
     /// CLI with `--journal N`.
     pub journal_cap: usize,
+    /// Worker threads for each figure's [`engine::TrialPool`]. Results are
+    /// bit-identical at any value (per-trial RNG substreams); this knob
+    /// only trades wall-clock for cores. The CLI defaults it to
+    /// [`std::thread::available_parallelism`]; the library default is 1.
+    pub threads: usize,
 }
 
 impl Scale {
@@ -72,6 +79,7 @@ impl Scale {
             churn_per_unit: 100,
             seed: 20040815, // ICPP 2004
             journal_cap: 0,
+            threads: 1,
         }
     }
 
@@ -89,6 +97,7 @@ impl Scale {
             churn_per_unit: 50,
             seed: 20040815,
             journal_cap: 0,
+            threads: 1,
         }
     }
 
@@ -96,6 +105,12 @@ impl Scale {
     /// never share RNG streams).
     pub fn with_seed(mut self, seed: u64) -> Scale {
         self.seed = seed;
+        self
+    }
+
+    /// Override the worker-thread count (clamped to ≥ 1 at use).
+    pub fn with_threads(mut self, threads: usize) -> Scale {
+        self.threads = threads;
         self
     }
 }

@@ -2,68 +2,49 @@
 //!
 //! ```text
 //! tap-sim <fig2|fig3|fig4a|fig4b|fig5|fig6|secure|all> \
-//!         [--paper] [--seed N] [--nodes N] [--tunnels N] [--journal N] [--csv DIR]
+//!         [--paper] [--seed N] [--nodes N] [--tunnels N] [--journal N] \
+//!         [--threads N] [--csv DIR]
 //! ```
 //!
 //! Default scale is `quick` (seconds); `--paper` runs the published
-//! parameters (10^4 nodes, 5 000 tunnels, 30×1 000 transfers — minutes).
+//! parameters (10^4 nodes, 5 000 tunnels, 30×1 000 transfers). Flags may
+//! appear in any order: presets are resolved first, overrides applied
+//! after (see [`tap_sim::cli`]).
+//!
+//! `--threads N` sizes every figure's deterministic trial pool (default:
+//! available parallelism). Results are bit-identical at any thread count —
+//! per-trial RNG substreams, not shared streams — so the flag only trades
+//! wall-clock for cores.
+//!
 //! `--journal N` selects journal verbosity: each experiment's metrics
 //! registry keeps the most recent `N` events (takeovers, drops, …) and
 //! includes them in the emitted MetricsReport JSON; without it only
 //! counters and histograms are reported.
-//! `all` runs the experiments on parallel threads (they are independent
-//! deterministic simulations) and prints the figures in order.
+//!
+//! Every run appends a wall-clock-per-figure record to `BENCH_sim.json`
+//! (in `--csv DIR` when given, else the working directory), growing the
+//! repo's perf trajectory.
 
-use std::io::Write;
+use std::time::Instant;
 
+use tap_sim::cli::{self, Cli};
 use tap_sim::{experiments, Scale, Series};
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: tap-sim <fig2|fig3|fig4a|fig4b|fig5|fig6|secure|all> \
-       [--paper] [--seed N] [--nodes N] [--tunnels N] [--journal N] [--csv DIR]"
-    );
+fn fail_usage(err: &str) -> ! {
+    eprintln!("tap-sim: {err}");
+    eprintln!("{}", cli::USAGE);
     std::process::exit(2);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
-        usage();
-    }
-    let mut which = None;
-    let mut scale = Scale::quick();
-    let mut csv_dir: Option<String> = None;
-    let mut iter = args.iter();
-    while let Some(arg) = iter.next() {
-        match arg.as_str() {
-            "--paper" => scale = Scale::paper(),
-            "--seed" => {
-                let v = iter.next().unwrap_or_else(|| usage());
-                scale = scale.with_seed(v.parse().unwrap_or_else(|_| usage()));
-            }
-            "--nodes" => {
-                let v = iter.next().unwrap_or_else(|| usage());
-                scale.nodes = v.parse().unwrap_or_else(|_| usage());
-            }
-            "--tunnels" => {
-                let v = iter.next().unwrap_or_else(|| usage());
-                scale.tunnels = v.parse().unwrap_or_else(|_| usage());
-            }
-            "--journal" => {
-                let v = iter.next().unwrap_or_else(|| usage());
-                scale.journal_cap = v.parse().unwrap_or_else(|_| usage());
-            }
-            "--csv" => {
-                csv_dir = Some(iter.next().unwrap_or_else(|| usage()).clone());
-            }
-            name if which.is_none() && !name.starts_with('-') => {
-                which = Some(name.to_string());
-            }
-            _ => usage(),
-        }
-    }
-    let which = which.unwrap_or_else(|| usage());
+    let parsed: Cli = cli::parse(&args).unwrap_or_else(|e| fail_usage(&e));
+    let threads = parsed.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    let scale = parsed.scale.with_threads(threads);
 
     type Job = (&'static str, fn(&Scale) -> Series);
     let jobs: Vec<Job> = vec![
@@ -75,59 +56,111 @@ fn main() {
         ("fig6", experiments::latency::run),
         ("secure", experiments::secure_routing::run),
     ];
-
-    let selected: Vec<&Job> = if which == "all" {
+    let selected: Vec<&Job> = if parsed.which == "all" {
         jobs.iter().collect()
     } else {
-        let j: Vec<_> = jobs.iter().filter(|(n, _)| *n == which).collect();
-        if j.is_empty() {
-            usage();
-        }
-        j
+        jobs.iter().filter(|(n, _)| *n == parsed.which).collect()
     };
 
-    // The experiments share nothing and are deterministic per scale:
-    // run them on parallel threads, print in submission order.
-    let results: Vec<(&str, Series, std::time::Duration)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = selected
-            .iter()
-            .map(|(name, job)| {
-                let scale = scale;
-                scope.spawn(move || {
-                    let start = std::time::Instant::now();
-                    let series = job(&scale);
-                    (*name, series, start.elapsed())
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("experiment thread panicked"))
-            .collect()
-    });
-
-    for (name, series, took) in results {
+    // Figures run one at a time; the parallelism lives *inside* each
+    // figure's trial pool, so the per-figure wall-clock below is honest.
+    let mut wall: Vec<(&str, f64)> = Vec::new();
+    let mut io_errors = 0usize;
+    for (name, job) in &selected {
+        let start = Instant::now();
+        let series = job(&scale);
+        let took = start.elapsed();
         println!("{series}");
         println!(
-            "({name}: {} rows in {took:.2?}, N={}, tunnels={})\n",
+            "({name}: {} rows in {took:.2?}, N={}, tunnels={}, threads={})\n",
             series.rows.len(),
             scale.nodes,
-            scale.tunnels
+            scale.tunnels,
+            threads
         );
         if let Some(json) = &series.metrics_json {
             println!("metrics {name} {json}\n");
         }
-        if let Some(dir) = &csv_dir {
-            std::fs::create_dir_all(dir).expect("create csv dir");
-            let path = format!("{dir}/{name}.csv");
-            let mut f = std::fs::File::create(&path).expect("create csv file");
-            f.write_all(series.to_csv().as_bytes()).expect("write csv");
-            println!("wrote {path}");
-            if let Some(json) = &series.metrics_json {
-                let mpath = format!("{dir}/{name}.metrics.json");
-                std::fs::write(&mpath, json).expect("write metrics json");
-                println!("wrote {mpath}");
+        if let Some(dir) = &parsed.csv_dir {
+            // A bad --csv path must not cost the minutes of simulation that
+            // produced the figure: report and keep going, exit nonzero later.
+            if let Err(e) = write_series_outputs(dir, name, &series) {
+                eprintln!("tap-sim: {e}");
+                io_errors += 1;
             }
         }
+        wall.push((name, took.as_secs_f64()));
     }
+
+    let bench_path = match &parsed.csv_dir {
+        Some(dir) => format!("{dir}/BENCH_sim.json"),
+        None => "BENCH_sim.json".to_string(),
+    };
+    match append_bench_record(&bench_path, &scale, parsed.paper, &wall) {
+        Ok(()) => println!("wrote {bench_path}"),
+        Err(e) => {
+            eprintln!("tap-sim: {e}");
+            io_errors += 1;
+        }
+    }
+    if io_errors > 0 {
+        eprintln!("tap-sim: {io_errors} output file(s) could not be written");
+        std::process::exit(1);
+    }
+}
+
+/// Write `<dir>/<name>.csv` (and `.metrics.json` when present), reporting
+/// any I/O failure as a readable error instead of a panic.
+fn write_series_outputs(dir: &str, name: &str, series: &Series) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create csv dir {dir:?}: {e}"))?;
+    let path = format!("{dir}/{name}.csv");
+    std::fs::write(&path, series.to_csv()).map_err(|e| format!("write {path:?}: {e}"))?;
+    println!("wrote {path}");
+    if let Some(json) = &series.metrics_json {
+        let mpath = format!("{dir}/{name}.metrics.json");
+        std::fs::write(&mpath, json).map_err(|e| format!("write {mpath:?}: {e}"))?;
+        println!("wrote {mpath}");
+    }
+    Ok(())
+}
+
+/// Append this run's wall-clock record to the `BENCH_sim.json` trajectory
+/// (a JSON array of run records; created on first run, rewritten from
+/// scratch if unreadable or malformed).
+fn append_bench_record(
+    path: &str,
+    scale: &Scale,
+    paper: bool,
+    wall: &[(&str, f64)],
+) -> Result<(), String> {
+    let figures = wall
+        .iter()
+        .map(|(name, secs)| format!("{{\"name\":\"{name}\",\"wall_s\":{secs:.3}}}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let total: f64 = wall.iter().map(|(_, s)| s).sum();
+    let record = format!(
+        "{{\"bench\":\"tap-sim\",\"preset\":\"{}\",\"nodes\":{},\"tunnels\":{},\
+         \"seed\":{},\"threads\":{},\"figures\":[{figures}],\"total_wall_s\":{total:.3}}}",
+        if paper { "paper" } else { "quick" },
+        scale.nodes,
+        scale.tunnels,
+        scale.seed,
+        scale.threads,
+    );
+    let body = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            match trimmed.strip_suffix(']') {
+                Some(head) if trimmed.starts_with('[') => {
+                    let head = head.trim_end();
+                    let sep = if head.ends_with('[') { "" } else { ",\n" };
+                    format!("{head}{sep}{record}\n]\n")
+                }
+                _ => format!("[\n{record}\n]\n"),
+            }
+        }
+        Err(_) => format!("[\n{record}\n]\n"),
+    };
+    std::fs::write(path, body).map_err(|e| format!("write {path:?}: {e}"))
 }
