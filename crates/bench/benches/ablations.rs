@@ -156,7 +156,7 @@ fn ablation_hint_staleness() {
                 rec.initiator,
                 tun.entry_hopid(),
                 onion,
-                TransitOptions { use_hints: true },
+                TransitOptions::hinted(),
             ) {
                 hits += report.hint_hits;
                 misses += report.hint_misses;

@@ -18,6 +18,7 @@ pub fn bench_scale() -> Scale {
         churn_per_unit: 25,
         seed: 0xBE7C4,
         journal_cap: 0,
+        fault_permille: 100,
         threads: 1,
     }
 }

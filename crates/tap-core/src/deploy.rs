@@ -359,7 +359,14 @@ pub fn deploy_via_tunnel<R: Rng + ?Sized>(
         let hopid = tha.hopid;
         let puzzle = Puzzle::issue(rng, puzzle_difficulty);
         let solution = puzzle.solve(hopid.as_bytes());
-        debug_assert!(puzzle.verify(hopid.as_bytes(), &solution));
+        // Fail closed (matching the onion path): a storer must never
+        // accept a deposit whose flood-defence puzzle does not verify.
+        if !puzzle.verify(hopid.as_bytes(), &solution) {
+            for h in &report.deposited {
+                store.remove(*h);
+            }
+            return Err(TunnelDeployError::PuzzleFailed { hopid });
+        }
         report.puzzle_work += solution.nonce;
         if !matches!(store.insert(overlay, hopid, tha), Ok(true)) {
             // Roll back, mirroring the onion-path semantics.
@@ -387,6 +394,11 @@ pub enum TunnelDeployError {
         /// The duplicate hop identifier.
         hopid: Id,
     },
+    /// The flood-defence puzzle failed to verify at the storer.
+    PuzzleFailed {
+        /// The anchor whose puzzle failed.
+        hopid: Id,
+    },
 }
 
 impl std::fmt::Display for TunnelDeployError {
@@ -397,6 +409,9 @@ impl std::fmt::Display for TunnelDeployError {
             TunnelDeployError::Malformed => write!(f, "deploy payload malformed"),
             TunnelDeployError::Rejected { hopid } => {
                 write!(f, "deposit rejected for {hopid:?}")
+            }
+            TunnelDeployError::PuzzleFailed { hopid } => {
+                write!(f, "storage puzzle failed for {hopid:?}")
             }
         }
     }

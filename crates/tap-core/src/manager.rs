@@ -36,6 +36,11 @@ pub struct RefreshPolicy {
     pub min_pool: usize,
     /// How many anchors to deploy when the pool runs low.
     pub replenish_batch: usize,
+    /// Each tick, rebuild any THA replica set that has fallen under `k`
+    /// live holders ([`TapSystem::re_replicate_thas`]) — the repair a
+    /// takeover or partition leaves behind. Defaults on: a degraded
+    /// anchor is one more failure away from [`TransitError::ThaLost`].
+    pub re_replicate: bool,
 }
 
 impl Default for RefreshPolicy {
@@ -45,6 +50,7 @@ impl Default for RefreshPolicy {
             probe: true,
             min_pool: 10,
             replenish_batch: 10,
+            re_replicate: true,
         }
     }
 }
@@ -75,6 +81,8 @@ pub struct ManagerStats {
     pub tunnels_formed: u64,
     /// Anchors deployed by pool upkeep.
     pub anchors_deployed: u64,
+    /// THA replica sets rebuilt after degrading below `k` live holders.
+    pub re_replications: u64,
     /// Times a replacement could not be formed (pool exhausted and
     /// replenishment failed) — should stay zero in a healthy system.
     pub formation_failures: u64,
@@ -127,6 +135,13 @@ impl TunnelManager {
     pub fn tick(&mut self, sys: &mut TapSystem) {
         self.tick += 1;
         self.replenish_pool(sys);
+
+        // Bring degraded replica sets back to strength *before* probing:
+        // a probe through a hop with one surviving holder is a coin flip
+        // away from a false ThaLost retirement.
+        if self.policy.re_replicate {
+            self.stats.re_replications += sys.re_replicate_thas() as u64;
+        }
 
         // Age-based refresh (§7.2): retire before probing — an aged tunnel
         // is rotated even if it still works.
@@ -327,6 +342,54 @@ mod tests {
             mgr.stats.probe_failures <= 2,
             "repairing churn should rarely break tunnels: {:?}",
             mgr.stats
+        );
+    }
+
+    #[test]
+    fn tick_re_replicates_degraded_anchors() {
+        let (mut sys, mut mgr) = setup(250, 7, RefreshPolicy::default());
+        mgr.tick(&mut sys);
+        // Kill one (non-owner) holder of each of the first tunnel's hops
+        // WITHOUT repair: the replica sets degrade below k but survive.
+        let hops = mgr.active()[0].tunnel.hop_ids();
+        for h in &hops {
+            let victim = sys
+                .thas
+                .holders(*h)
+                .iter()
+                .copied()
+                .find(|n| *n != mgr.owner());
+            if let Some(v) = victim {
+                sys.fail_node(v, false);
+            }
+        }
+        let k = sys.thas.replication();
+        assert!(
+            hops.iter().any(|h| {
+                sys.thas
+                    .holders(*h)
+                    .iter()
+                    .filter(|n| sys.overlay.is_live(**n))
+                    .count()
+                    < k
+            }),
+            "at least one replica set must be degraded before the tick"
+        );
+        mgr.tick(&mut sys);
+        assert!(mgr.stats.re_replications > 0, "tick must rebuild");
+        for h in &hops {
+            if sys.thas.get(*h).is_some() {
+                assert_eq!(
+                    sys.thas.holders(*h).len(),
+                    k,
+                    "anchor {h:?} back to full strength"
+                );
+            }
+        }
+        let report = sys.metrics().snapshot();
+        assert_eq!(
+            report.counter("core.tha.re_replications"),
+            mgr.stats.re_replications
         );
     }
 

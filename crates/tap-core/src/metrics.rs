@@ -18,10 +18,18 @@ use tap_metrics::{Counter, Histogram, Registry};
 /// * `core.onion.peel_us` — histogram, wall-clock microseconds to open one
 ///   onion layer (decrypt side, recorded per hop during transit).
 /// * `core.transit.retries` — counter, direct-address (§5 hint) attempts
-///   that failed and fell back to overlay routing.
+///   that failed and fell back to overlay routing, plus per-hop resends
+///   after a delivery timeout in the timed driver.
+/// * `core.transit.backoff_us` — histogram, microseconds slept between a
+///   timeout and the resend it triggered (exponential per attempt).
+/// * `core.transit.giveups` — counter, hops abandoned after the retry
+///   budget was exhausted.
 /// * `core.tha.takeovers` — counter, tunnel hops served by a replica
 ///   candidate instead of the node that was root at deployment time. Each
 ///   takeover also emits a `core.tha.takeover` event naming the hopid.
+/// * `core.tha.re_replications` — counter, THA anchors whose replica set
+///   fell under `k` (takeover, partition) and was rebuilt onto the current
+///   k-closest nodes. Each also emits a `core.tha.re_replication` event.
 #[derive(Clone)]
 pub struct CoreInstruments {
     registry: Registry,
@@ -29,10 +37,17 @@ pub struct CoreInstruments {
     pub onion_wrap_us: Arc<Histogram>,
     /// Per-layer onion open (decrypt) timing, microseconds.
     pub onion_peel_us: Arc<Histogram>,
-    /// Hint attempts that failed and retried via overlay routing.
+    /// Hint attempts that failed and retried via overlay routing, and
+    /// timed-driver resends after a timeout.
     pub transit_retries: Arc<Counter>,
+    /// Microseconds between a timeout and its resend.
+    pub transit_backoff_us: Arc<Histogram>,
+    /// Hops abandoned after the retry budget ran out.
+    pub transit_giveups: Arc<Counter>,
     /// Hops served by a replica candidate rather than the original root.
     pub tha_takeovers: Arc<Counter>,
+    /// THA replica sets rebuilt after falling under `k`.
+    pub tha_re_replications: Arc<Counter>,
 }
 
 impl CoreInstruments {
@@ -43,7 +58,10 @@ impl CoreInstruments {
             onion_wrap_us: registry.histogram("core.onion.wrap_us"),
             onion_peel_us: registry.histogram("core.onion.peel_us"),
             transit_retries: registry.counter("core.transit.retries"),
+            transit_backoff_us: registry.histogram("core.transit.backoff_us"),
+            transit_giveups: registry.counter("core.transit.giveups"),
             tha_takeovers: registry.counter("core.tha.takeovers"),
+            tha_re_replications: registry.counter("core.tha.re_replications"),
         }
     }
 
@@ -61,6 +79,16 @@ impl CoreInstruments {
             0,
             "core.tha.takeover",
             format!("hopid={hopid:?} node={node:?}"),
+        );
+    }
+
+    /// Record a THA replica-set rebuild for `hopid` (counter + event).
+    pub fn record_re_replication(&self, hopid: Id, holders_now: usize) {
+        self.tha_re_replications.inc();
+        self.registry.emit(
+            0,
+            "core.tha.re_replication",
+            format!("hopid={hopid:?} holders={holders_now}"),
         );
     }
 }

@@ -22,18 +22,27 @@ use std::collections::HashMap;
 use tap_crypto::onion;
 use tap_id::Id;
 use tap_netsim::latency::LatencyModel;
-use tap_netsim::{EndpointId, Event, Network, SimDuration, SimTime};
+use tap_netsim::{EndpointId, Event, Network, SimDuration, SimTime, TimerToken};
 use tap_pastry::storage::ReplicaStore;
 use tap_pastry::{KeyRouter, RouteError};
 
+use crate::metrics::CoreInstruments;
 use crate::tha::Tha;
-use crate::transit::{Delivery, TransitError, TransitOptions};
+use crate::transit::{Delivery, HintCache, TransitError, TransitOptions};
 use crate::wire::{Destination, HopHeader};
 
 /// Maps overlay nodes onto network endpoints and owns the event loop.
 pub struct NetDriver<L: LatencyModel> {
     net: Network<u64, L>,
     endpoint_of: HashMap<Id, EndpointId>,
+    /// Distinguishes each (hop, attempt)'s timeout timer from stale ones
+    /// still sitting in the heap after a delivery won the race.
+    timer_seq: u64,
+    /// Tags every [`NetDriver::ship`] chain's messages (high payload bits)
+    /// so late deliveries and duplicates from an earlier chain can never
+    /// be mistaken for the current one's progress.
+    flow_seq: u64,
+    instruments: Option<CoreInstruments>,
 }
 
 /// Timing gathered by a timed traversal.
@@ -55,12 +64,45 @@ impl<L: LatencyModel> NetDriver<L> {
         NetDriver {
             net,
             endpoint_of: HashMap::new(),
+            timer_seq: 0,
+            flow_seq: 0,
+            instruments: None,
         }
+    }
+
+    /// Record retries/backoff/giveups into `instruments` from now on.
+    pub fn use_instruments(&mut self, instruments: CoreInstruments) {
+        self.instruments = Some(instruments);
     }
 
     /// Current virtual time of the underlying network.
     pub fn now(&self) -> SimTime {
         self.net.now()
+    }
+
+    /// The underlying network — for installing a
+    /// [`tap_netsim::FaultPlan`], cutting partitions, or reading stats.
+    pub fn network_mut(&mut self) -> &mut Network<u64, L> {
+        &mut self.net
+    }
+
+    /// Pre-create the endpoint for `node` (normally lazy on first send).
+    /// Chaos harnesses need ids up front to schedule crash/restart plans.
+    pub fn register(&mut self, node: Id) -> EndpointId {
+        self.endpoint(node)
+    }
+
+    /// Crash `node`'s endpoint on the wire (the overlay keeps thinking it
+    /// is live — exactly the split-brain the §5 hint fallback handles).
+    pub fn kill_node(&mut self, node: Id) {
+        let e = self.endpoint(node);
+        self.net.kill(e);
+    }
+
+    /// Bring `node`'s endpoint back.
+    pub fn revive_node(&mut self, node: Id) {
+        let e = self.endpoint(node);
+        self.net.revive(e);
     }
 
     /// The endpoint for `node`, creating it on first use.
@@ -75,9 +117,37 @@ impl<L: LatencyModel> NetDriver<L> {
         }
     }
 
+    /// Timeout before resending a hop carrying `bytes`: the worst-case
+    /// delivery (serialization at 1.5 Mb/s plus the 230 ms latency
+    /// ceiling), doubled per attempt already made.
+    fn resend_timeout(bytes: u64, attempt: u32) -> SimDuration {
+        let serialization_us = bytes.saturating_mul(16) / 3;
+        let base = SimDuration::from_micros(serialization_us + 500_000);
+        base.mul(1u64 << attempt.min(16))
+    }
+
     /// Ship `bytes` along consecutive node pairs of `path`, store-and-
     /// forward, and return when the last byte arrives.
-    fn ship(&mut self, path: &[Id], bytes: u64) -> Result<(SimDuration, usize), TransitError> {
+    ///
+    /// Each hop is guarded by a delivery timeout: if the message vanishes
+    /// (fault-injected loss, a crashed relay, a partition) the driver
+    /// resends it up to `options.retry_budget` times with exponential
+    /// backoff, then gives up with [`TransitError::RetriesExhausted`].
+    /// Duplicate deliveries (fault-injected duplication, or a resend
+    /// racing its slow original) are detected by hop index and ignored.
+    ///
+    /// `terminal` marks whether exhausting the budget abandons the whole
+    /// traversal (counted as `core.transit.giveups`) or the caller still
+    /// has a fallback (the hinted direct attempt) — only terminal
+    /// exhaustion is a give-up.
+    fn ship(
+        &mut self,
+        path: &[Id],
+        bytes: u64,
+        hopid: Id,
+        options: TransitOptions,
+        terminal: bool,
+    ) -> Result<(SimDuration, usize), TransitError> {
         let mut eps = Vec::with_capacity(path.len());
         for n in path {
             let e = self.endpoint(*n);
@@ -89,19 +159,72 @@ impl<L: LatencyModel> NetDriver<L> {
             return Ok((SimDuration::ZERO, 0));
         }
         let start = self.net.now();
-        self.net.send(eps[0], eps[1], bytes, 1);
+        // Payloads carry `flow << 16 | hop index`: the flow tag rejects
+        // leftovers from earlier chains outright, and within this chain
+        // the index exposes duplicates of an already-advanced hop.
+        self.flow_seq += 1;
+        let flow = self.flow_seq;
+        debug_assert!(eps.len() < (1 << 16), "hop index fits the low bits");
+        let tag = |idx: usize| (flow << 16) | idx as u64;
+        let mut expect = 1usize;
+        let mut attempts = 0u32;
+        let mut watchdog = self.arm_watchdog(bytes, attempts);
+        self.net.send(eps[0], eps[1], bytes, tag(1));
         while let Some(ev) = self.net.next_event() {
-            if let Event::Message(m) = ev {
-                let idx = m.payload as usize;
-                if idx + 1 < eps.len() {
+            match ev {
+                Event::Message(m) => {
+                    if m.payload >> 16 != flow {
+                        continue; // leftover from an earlier chain
+                    }
+                    let idx = (m.payload & 0xFFFF) as usize;
+                    if idx != expect {
+                        continue; // duplicate of an already-advanced hop
+                    }
+                    if idx + 1 == eps.len() {
+                        return Ok((m.delivered_at - start, eps.len() - 1));
+                    }
+                    expect += 1;
+                    attempts = 0;
+                    watchdog = self.arm_watchdog(bytes, attempts);
+                    self.net.send(eps[idx], eps[idx + 1], bytes, tag(expect));
+                }
+                Event::Timer { token, .. } => {
+                    if token != watchdog {
+                        continue; // stale watchdog from a hop that completed
+                    }
+                    if attempts >= options.retry_budget {
+                        if terminal {
+                            if let Some(ins) = &self.instruments {
+                                ins.transit_giveups.inc();
+                            }
+                        }
+                        return Err(TransitError::RetriesExhausted {
+                            hopid,
+                            attempts: attempts + 1,
+                        });
+                    }
+                    if let Some(ins) = &self.instruments {
+                        ins.transit_retries.inc();
+                        ins.transit_backoff_us
+                            .record(Self::resend_timeout(bytes, attempts).as_micros());
+                    }
+                    attempts += 1;
+                    watchdog = self.arm_watchdog(bytes, attempts);
                     self.net
-                        .send(eps[idx], eps[idx + 1], bytes, (idx + 1) as u64);
-                } else {
-                    return Ok((m.delivered_at - start, eps.len() - 1));
+                        .send(eps[expect - 1], eps[expect], bytes, tag(expect));
                 }
             }
         }
-        unreachable!("a live store-and-forward chain always completes")
+        unreachable!("an armed watchdog timer keeps the event heap non-empty")
+    }
+
+    /// Arm the per-hop delivery watchdog and return its token.
+    fn arm_watchdog(&mut self, bytes: u64, attempt: u32) -> TimerToken {
+        self.timer_seq += 1;
+        let token = TimerToken(self.timer_seq);
+        self.net
+            .set_timer(Self::resend_timeout(bytes, attempt), token);
+        token
     }
 
     /// Drive `onion_bytes` (plus `payload_bytes` of application data
@@ -114,9 +237,38 @@ impl<L: LatencyModel> NetDriver<L> {
         thas: &ReplicaStore<Tha>,
         from: Id,
         entry_hop: Id,
+        onion_bytes: Vec<u8>,
+        payload_bytes: u64,
+        options: TransitOptions,
+    ) -> Result<(Delivery, TimedReport), TransitError> {
+        self.drive_timed_with_hints(
+            overlay,
+            thas,
+            from,
+            entry_hop,
+            onion_bytes,
+            payload_bytes,
+            options,
+            None,
+        )
+    }
+
+    /// [`NetDriver::drive_timed`] with an initiator-side [`HintCache`] to
+    /// demote through. The §5 fallback at wire fidelity: a hinted direct
+    /// hop that *times out* (hinted node overlay-live but crashed or
+    /// partitioned on the wire) evicts the hint and re-ships the segment
+    /// via overlay routing, instead of giving up on the whole traversal.
+    #[allow(clippy::too_many_arguments)]
+    pub fn drive_timed_with_hints(
+        &mut self,
+        overlay: &mut impl KeyRouter,
+        thas: &ReplicaStore<Tha>,
+        from: Id,
+        entry_hop: Id,
         mut onion_bytes: Vec<u8>,
         payload_bytes: u64,
         options: TransitOptions,
+        mut hints: Option<&mut HintCache>,
     ) -> Result<(Delivery, TimedReport), TransitError> {
         let mut report = TimedReport::default();
         let start = self.net.now();
@@ -128,13 +280,35 @@ impl<L: LatencyModel> NetDriver<L> {
             let root = overlay.owner_of(hop).ok_or(RouteError::EmptyOverlay)?;
             let wire = onion_bytes.len() as u64 + payload_bytes;
 
-            let segment: Vec<Id> = match (options.use_hints, hint) {
-                (true, Some(h)) if overlay.is_live(h) && overlay.owner_of(hop) == Some(h) => {
-                    vec![current, h]
-                }
-                _ => overlay.route_path(current, hop)?,
+            // §5 verbatim: "It first tries the IP address; if it fails,
+            // then routes the message to the tunnel hop node corresponding
+            // to the hopid." No oracle consultation here — a real
+            // initiator cannot know the hint went stale except by the
+            // attempt timing out, which is exactly what ship() detects.
+            let hinted = match (options.use_hints, hint) {
+                (true, Some(h)) if h != current => Some(h),
+                _ => None,
             };
-            let (_, hops) = self.ship(&segment, wire)?;
+            let segment: Vec<Id> = match hinted {
+                Some(h) => vec![current, h],
+                None => overlay.route_path(current, hop)?,
+            };
+            let shipped = match self.ship(&segment, wire, hop, options, hinted.is_none()) {
+                Err(TransitError::RetriesExhausted { .. }) if hinted.is_some() => {
+                    // Direct attempt timed out: demote the stale hint and
+                    // fall back to hopid routing (§5).
+                    if let Some(cache) = hints.as_deref_mut() {
+                        cache.demote(hop);
+                    }
+                    if let Some(ins) = &self.instruments {
+                        ins.transit_retries.inc();
+                    }
+                    let fallback = overlay.route_path(current, hop)?;
+                    self.ship(&fallback, wire, hop, options, true)?
+                }
+                other => other?,
+            };
+            let (_, hops) = shipped;
             report.overlay_hops += hops;
             report.bytes_on_wire += wire * hops as u64;
 
@@ -175,7 +349,7 @@ impl<L: LatencyModel> NetDriver<L> {
                             if !overlay.is_live(n) {
                                 return Err(TransitError::DeadDestination { node: n });
                             }
-                            let (_, hops) = self.ship(&[current, n], wire)?;
+                            let (_, hops) = self.ship(&[current, n], wire, hop, options, true)?;
                             report.overlay_hops += hops;
                             report.bytes_on_wire += wire * hops as u64;
                             n
@@ -183,7 +357,7 @@ impl<L: LatencyModel> NetDriver<L> {
                         Destination::KeyRoot(key) => {
                             let path = overlay.route_path(current, key)?;
                             let root = *path.last().expect("non-empty path");
-                            let (_, hops) = self.ship(&path, wire)?;
+                            let (_, hops) = self.ship(&path, wire, hop, options, true)?;
                             report.overlay_hops += hops;
                             report.bytes_on_wire += wire * hops as u64;
                             root
@@ -400,7 +574,7 @@ mod tests {
                 t.entry_hopid(),
                 onion_hinted,
                 250_000,
-                TransitOptions { use_hints: true },
+                TransitOptions::hinted(),
             )
             .unwrap();
         assert!(
@@ -410,6 +584,171 @@ mod tests {
             plain.elapsed
         );
         assert!(hinted.bytes_on_wire < plain.bytes_on_wire);
+    }
+
+    #[test]
+    fn retries_carry_transit_through_heavy_loss() {
+        let mut fx = fixture(200, 6);
+        let t = tunnel(&mut fx, 3);
+        let registry = tap_metrics::Registry::new();
+        fx.driver
+            .use_instruments(crate::metrics::CoreInstruments::new(&registry));
+        fx.driver
+            .network_mut()
+            .install_faults(tap_netsim::FaultPlan::new(99).with_loss(300));
+        let dest = loop {
+            let d = fx.overlay.random_node(&mut fx.rng).unwrap();
+            if d != fx.initiator {
+                break d;
+            }
+        };
+        let onion = t.build_onion(&mut fx.rng, Destination::Node(dest), b"hard", None);
+        let (delivery, timed) = fx
+            .driver
+            .drive_timed(
+                &mut fx.overlay,
+                &fx.thas,
+                fx.initiator,
+                t.entry_hopid(),
+                onion,
+                0,
+                TransitOptions {
+                    retry_budget: 8,
+                    ..TransitOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(matches!(delivery, Delivery::ToDestination { .. }));
+        assert_eq!(timed.hops_resolved, 3);
+        let report = registry.snapshot();
+        // 30% loss over many hops all but guarantees at least one resend
+        // (if none happened, the test still proves delivery works).
+        assert_eq!(report.counter("core.transit.giveups"), 0);
+        let retries = report.counter("core.transit.retries");
+        if retries > 0 {
+            let backoff = report.histogram("core.transit.backoff_us").unwrap();
+            assert_eq!(backoff.count, retries, "every resend recorded a wait");
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_gives_up_cleanly() {
+        let mut fx = fixture(150, 7);
+        let t = tunnel(&mut fx, 3);
+        let registry = tap_metrics::Registry::new();
+        fx.driver
+            .use_instruments(crate::metrics::CoreInstruments::new(&registry));
+        // Total loss: nothing ever arrives.
+        fx.driver
+            .network_mut()
+            .install_faults(tap_netsim::FaultPlan::new(1).with_loss(1000));
+        let dest = fx.overlay.random_node(&mut fx.rng).unwrap();
+        let onion = t.build_onion(&mut fx.rng, Destination::Node(dest), b"x", None);
+        let err = fx
+            .driver
+            .drive_timed(
+                &mut fx.overlay,
+                &fx.thas,
+                fx.initiator,
+                t.entry_hopid(),
+                onion,
+                0,
+                TransitOptions {
+                    retry_budget: 2,
+                    ..TransitOptions::default()
+                },
+            )
+            .unwrap_err();
+        match err {
+            TransitError::RetriesExhausted { attempts, .. } => assert_eq!(attempts, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+        let report = registry.snapshot();
+        assert_eq!(report.counter("core.transit.giveups"), 1);
+        assert_eq!(report.counter("core.transit.retries"), 2);
+    }
+
+    #[test]
+    fn duplicated_deliveries_do_not_derail_the_chain() {
+        let mut fx = fixture(200, 8);
+        let t = tunnel(&mut fx, 4);
+        fx.driver
+            .network_mut()
+            .install_faults(tap_netsim::FaultPlan::new(4).with_duplication(1000));
+        let dest = loop {
+            let d = fx.overlay.random_node(&mut fx.rng).unwrap();
+            if d != fx.initiator {
+                break d;
+            }
+        };
+        let onion = t.build_onion(&mut fx.rng, Destination::Node(dest), b"dup", None);
+        let (delivery, timed) = fx
+            .driver
+            .drive_timed(
+                &mut fx.overlay,
+                &fx.thas,
+                fx.initiator,
+                t.entry_hopid(),
+                onion,
+                0,
+                TransitOptions::default(),
+            )
+            .unwrap();
+        match delivery {
+            Delivery::ToDestination { node, core } => {
+                assert_eq!(node, dest);
+                assert_eq!(core, b"dup");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(timed.hops_resolved, 4);
+    }
+
+    #[test]
+    fn timed_out_hint_demotes_and_falls_back() {
+        let mut fx = fixture(250, 9);
+        let t = tunnel(&mut fx, 3);
+        let mut hints = crate::transit::HintCache::default();
+        hints.refresh(&fx.overlay, &t.hop_ids());
+        let registry = tap_metrics::Registry::new();
+        fx.driver
+            .use_instruments(crate::metrics::CoreInstruments::new(&registry));
+        // Crash the hinted node of hop 2 on the WIRE only: the overlay
+        // oracle still says it is live and root, so the oracle-level
+        // staleness check passes and the direct send must time out.
+        let hinted = hints.lookup(t.hops()[1].hopid).unwrap();
+        fx.driver.kill_node(hinted);
+        assert!(fx.overlay.is_live(hinted), "split-brain precondition");
+        let dest = loop {
+            let d = fx.overlay.random_node(&mut fx.rng).unwrap();
+            if d != fx.initiator && d != hinted {
+                break d;
+            }
+        };
+        let onion = t.build_onion(&mut fx.rng, Destination::Node(dest), b"m", Some(&hints));
+        let before = hints.len();
+        let result = fx.driver.drive_timed_with_hints(
+            &mut fx.overlay,
+            &fx.thas,
+            fx.initiator,
+            t.entry_hopid(),
+            onion,
+            0,
+            TransitOptions {
+                use_hints: true,
+                retry_budget: 1,
+            },
+            Some(&mut hints),
+        );
+        // The fallback routes via the overlay — but the real root IS the
+        // crashed node (oracle split-brain), so the fallback itself may
+        // also time out. Both outcomes are legal; what matters is the
+        // hint got demoted rather than looping forever.
+        assert!(hints.len() < before, "stale hint must be evicted");
+        assert!(hints.lookup(t.hops()[1].hopid).is_none());
+        if let Err(e) = result {
+            assert!(matches!(e, TransitError::RetriesExhausted { .. }));
+        }
     }
 
     #[test]

@@ -12,12 +12,14 @@ use rand::Rng;
 
 use tap_crypto::{KeyPair, PublicKey, SealedBox, SymmetricKey};
 use tap_id::{Id, ID_BYTES};
+use tap_netsim::latency::LatencyModel;
 use tap_pastry::storage::ReplicaStore;
 use tap_pastry::{KeyRouter, Overlay};
 
 use crate::metrics::CoreInstruments;
+use crate::netdrive::{NetDriver, TimedReport};
 use crate::tha::Tha;
-use crate::transit::{self, Delivery, TransitError, TransitOptions, TransitReport};
+use crate::transit::{self, Delivery, HintCache, TransitError, TransitOptions, TransitReport};
 use crate::tunnel::{ReplyTunnel, Tunnel};
 use crate::wire::Destination;
 
@@ -262,6 +264,123 @@ pub fn retrieve<R: Rng + ?Sized, O: KeyRouter>(
     Ok((file, report))
 }
 
+/// Wire-level metrics from one timed retrieval.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimedRetrievalReport {
+    /// Timed transit of the request along `T_f`.
+    pub forward: TimedReport,
+    /// Timed transit of the reply along `T_r`.
+    pub reply: TimedReport,
+    /// Size of the encrypted file payload on the reply path, in bytes.
+    pub reply_bytes: usize,
+}
+
+/// [`retrieve`] as timed wire traffic through a [`NetDriver`]: both the
+/// request and the reply cross the emulated network, so fault injection
+/// (loss, duplication, partitions, crash-restart) bites, the driver's
+/// timeout/retry shim reacts, and a hinted hop that times out demotes its
+/// [`HintCache`] entry and falls back to overlay routing (§5).
+#[allow(clippy::too_many_arguments)]
+pub fn retrieve_timed<R: Rng + ?Sized, O: KeyRouter, L: LatencyModel>(
+    rng: &mut R,
+    ctx: &mut RetrievalContext<'_, O>,
+    driver: &mut NetDriver<L>,
+    initiator: Id,
+    fid: Id,
+    fwd: &Tunnel,
+    rev: &Tunnel,
+    bid: Id,
+    mut hints: Option<&mut HintCache>,
+    options: TransitOptions,
+) -> Result<(Vec<u8>, TimedRetrievalReport), RetrievalError> {
+    let k_i = KeyPair::generate(rng);
+    let reply_tunnel = ReplyTunnel::build(rng, rev, bid, 96, hints.as_deref());
+
+    let request = Request {
+        fid,
+        reply_key: k_i.public(),
+        reply_entry: reply_tunnel.entry_hopid,
+        reply_onion: reply_tunnel.onion.clone(),
+    };
+    let onion = fwd.build_onion_instrumented(
+        rng,
+        Destination::KeyRoot(fid),
+        &request.encode(),
+        hints.as_deref(),
+        ctx.metrics,
+    );
+
+    // ---- forward path (on the wire) ----
+    let (delivery, forward_report) = driver
+        .drive_timed_with_hints(
+            ctx.overlay,
+            ctx.thas,
+            initiator,
+            fwd.entry_hopid(),
+            onion,
+            0,
+            options,
+            hints.as_deref_mut(),
+        )
+        .map_err(RetrievalError::Forward)?;
+    let (responder, request_bytes) = match delivery {
+        Delivery::ToDestination { node, core } => (node, core),
+        Delivery::AtAnchorlessRoot { .. } => return Err(RetrievalError::Corrupt),
+    };
+
+    // ---- responder R ----
+    let request = Request::decode(&request_bytes).ok_or(RetrievalError::Corrupt)?;
+    let record = ctx
+        .files
+        .get(request.fid)
+        .ok_or(RetrievalError::NoSuchFile { fid: request.fid })?;
+    let k_f = SymmetricKey::generate(rng);
+    let reply = Reply {
+        file_ct: k_f.seal(rng, &record.value.data),
+        key_box: SealedBox::seal(rng, &request.reply_key, k_f.as_bytes()),
+    };
+    let reply_bytes = reply.encode();
+
+    // ---- reply path (on the wire, the file travelling alongside) ----
+    let (delivery, reply_report) = driver
+        .drive_timed_with_hints(
+            ctx.overlay,
+            ctx.thas,
+            responder,
+            request.reply_entry,
+            request.reply_onion,
+            reply_bytes.len() as u64,
+            options,
+            hints,
+        )
+        .map_err(RetrievalError::Reply)?;
+    let landed = match delivery {
+        Delivery::AtAnchorlessRoot { node, .. } => node,
+        Delivery::ToDestination { .. } => return Err(RetrievalError::Corrupt),
+    };
+    if landed != initiator {
+        return Err(RetrievalError::Misdelivered { node: landed });
+    }
+
+    // ---- initiator decrypts ----
+    let reply = Reply::decode(&reply_bytes).ok_or(RetrievalError::Corrupt)?;
+    let k_f_bytes = k_i
+        .open(&reply.key_box)
+        .map_err(|_| RetrievalError::Corrupt)?;
+    let k_f_arr: [u8; 32] = k_f_bytes.try_into().map_err(|_| RetrievalError::Corrupt)?;
+    let k_f = SymmetricKey::from_bytes(k_f_arr);
+    let file = k_f
+        .open(&reply.file_ct)
+        .map_err(|_| RetrievalError::Corrupt)?;
+
+    let report = TimedRetrievalReport {
+        reply_bytes: reply_bytes.len(),
+        forward: forward_report,
+        reply: reply_report,
+    };
+    Ok((file, report))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -466,7 +585,7 @@ mod tests {
             &rev,
             bid,
             None,
-            TransitOptions { use_hints: true },
+            TransitOptions::hinted(),
         )
         .unwrap();
         assert_eq!(file, b"speedy");

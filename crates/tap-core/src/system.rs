@@ -166,6 +166,40 @@ impl TapSystem {
         true
     }
 
+    /// Re-replicate every THA anchor whose replica set has degraded below
+    /// `min(k, overlay size)` live holders — the aftermath of a takeover,
+    /// an unrepaired failure (Fig. 2's regime), or a partition that kept
+    /// the repair from running. An anchor with zero live holders is beyond
+    /// repair (no surviving replica to copy from) and is left alone.
+    /// Returns how many anchors were rebuilt; each rebuild is counted as
+    /// `core.tha.re_replications` and emits a `core.tha.re_replication`
+    /// event.
+    pub fn re_replicate_thas(&mut self) -> usize {
+        let k = self.thas.replication().min(self.overlay.len());
+        let degraded: Vec<Id> = self
+            .thas
+            .iter()
+            .filter(|(_, rec)| {
+                let live = rec
+                    .holders
+                    .iter()
+                    .filter(|h| self.overlay.is_live(**h))
+                    .count();
+                live > 0 && live < k
+            })
+            .map(|(hopid, _)| hopid)
+            .collect();
+        let mut repaired = 0;
+        for hopid in degraded {
+            if self.thas.repair_key(&self.overlay, hopid) {
+                let holders_now = self.thas.holders(hopid).len();
+                self.instruments.record_re_replication(hopid, holders_now);
+                repaired += 1;
+            }
+        }
+        repaired
+    }
+
     /// The public keys the initiator can see (the PKI).
     pub fn keypair(&self, node: Id) -> Option<&KeyPair> {
         self.keys.get(&node)
@@ -376,7 +410,10 @@ impl TapSystem {
             &rev,
             bid,
             hints.as_ref(),
-            TransitOptions { use_hints },
+            TransitOptions {
+                use_hints,
+                ..TransitOptions::default()
+            },
         )
     }
 }

@@ -56,6 +56,18 @@ impl HintCache {
         }
     }
 
+    /// Drop the cached mapping for `hopid`, returning the demoted node.
+    ///
+    /// The §5 fallback: "It first tries the IP address; if it fails, then
+    /// routes the message to the tunnel hop node corresponding to the
+    /// hopid." A hint can be wrong without the oracle noticing — the node
+    /// may still be overlay-live but unreachable on the wire (crashed
+    /// endpoint, partition) — so the timed driver demotes a hint when the
+    /// *direct attempt times out*, not only on an explicit oracle miss.
+    pub fn demote(&mut self, hopid: Id) -> Option<Id> {
+        self.map.remove(&hopid)
+    }
+
     /// Number of cached mappings.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -88,6 +100,14 @@ pub enum TransitError {
         /// The dead destination.
         node: Id,
     },
+    /// A wire hop kept timing out until the retry budget ran out (timed
+    /// driver only; the logical driver has no wire to time out on).
+    RetriesExhausted {
+        /// The hopid whose segment could not be delivered.
+        hopid: Id,
+        /// Send attempts made (first try plus retries).
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for TransitError {
@@ -102,6 +122,9 @@ impl std::fmt::Display for TransitError {
             TransitError::Routing(e) => write!(f, "overlay routing failed: {e}"),
             TransitError::DeadDestination { node } => {
                 write!(f, "destination {node:?} is dead")
+            }
+            TransitError::RetriesExhausted { hopid, attempts } => {
+                write!(f, "gave up on hop {hopid:?} after {attempts} send attempts")
             }
         }
     }
@@ -158,6 +181,22 @@ pub struct TransitReport {
 pub struct TransitOptions {
     /// Honor address hints embedded in onion layers (§5, `TAP_opt`).
     pub use_hints: bool,
+    /// Resends allowed per wire hop after the first attempt times out
+    /// (timed driver only; exponential backoff between attempts). Zero —
+    /// the default — keeps the historical fire-and-forget behaviour:
+    /// a single undelivered hop ends the traversal with
+    /// [`TransitError::RetriesExhausted`].
+    pub retry_budget: u32,
+}
+
+impl TransitOptions {
+    /// Hint-following traversal (§5, `TAP_opt`) with no retry budget.
+    pub fn hinted() -> Self {
+        TransitOptions {
+            use_hints: true,
+            ..TransitOptions::default()
+        }
+    }
 }
 
 /// Drive `onion` from `from` through the tunnel starting at `entry_hop`.
@@ -488,7 +527,7 @@ mod tests {
             fx.initiator,
             t.entry_hopid(),
             onion.clone(),
-            TransitOptions { use_hints: true },
+            TransitOptions::hinted(),
         )
         .unwrap();
         let onion2 = t.build_onion(&mut fx.rng, Destination::Node(dest), b"m", None);
@@ -532,7 +571,7 @@ mod tests {
             fx.initiator,
             t.entry_hopid(),
             onion,
-            TransitOptions { use_hints: true },
+            TransitOptions::hinted(),
         )
         .unwrap();
         assert!(matches!(delivery, Delivery::ToDestination { .. }));

@@ -30,9 +30,10 @@ pub trait LatencyModel {
     fn on_endpoint_added(&mut self, _id: EndpointId) {}
 }
 
-/// SplitMix64 — a tiny, high-quality hash for pair → delay derivation.
+/// SplitMix64 — a tiny, high-quality hash for pair → delay derivation
+/// (also the fault layer's counter-stream generator; see `fault.rs`).
 #[inline]
-fn splitmix64(mut z: u64) -> u64 {
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E3779B97F4A7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
@@ -150,7 +151,7 @@ mod tests {
     use super::*;
 
     fn ep(i: usize) -> EndpointId {
-        EndpointId::from_index(i)
+        EndpointId::from_index(i).expect("test index fits u32")
     }
 
     #[test]

@@ -54,11 +54,13 @@
 #![warn(missing_docs)]
 
 pub mod bandwidth;
+pub mod fault;
 pub mod latency;
 mod network;
 mod time;
 
+pub use fault::{FaultAction, FaultPlan, ScheduledFault};
 pub use network::{
-    DeliveredMessage, EndpointId, Event, Network, NetworkConfig, TimerToken, TrafficStats,
+    DeliveredMessage, EndpointId, Event, Livelock, Network, NetworkConfig, TimerToken, TrafficStats,
 };
 pub use time::{SimDuration, SimTime};

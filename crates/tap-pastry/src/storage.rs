@@ -237,6 +237,26 @@ impl<V> ReplicaStore<V> {
         rec.holders = new_holders;
     }
 
+    /// Re-replicate a single object onto the overlay's *current* k-closest
+    /// set. Returns `true` when the holder set actually changed.
+    ///
+    /// [`ReplicaStore::on_node_removed`] repairs eagerly when the caller
+    /// knows which node vanished; this is the targeted variant for callers
+    /// that only know an object's replica set has degraded (a takeover was
+    /// observed in transit, a partition healed) and want that one anchor
+    /// back to full strength.
+    pub fn repair_key(&mut self, overlay: &impl KeyRouter, key: Id) -> bool {
+        if !self.objects.contains_key(&key) {
+            return false;
+        }
+        let new_holders = overlay.replica_set(key, self.k);
+        if new_holders.is_empty() || self.holders(key) == new_holders {
+            return false;
+        }
+        self.reassign(key, new_holders);
+        true
+    }
+
     /// Repair after `node` left or failed. Call **after** the overlay has
     /// removed it: each object the node held is re-replicated onto the new
     /// k-closest set (one of the candidates takes over as root, and the

@@ -9,12 +9,21 @@
 use crate::Scale;
 
 /// The usage banner printed alongside every parse error.
-pub const USAGE: &str = "usage: tap-sim <fig2|fig3|fig4a|fig4b|fig5|fig6|secure|all> \
+pub const USAGE: &str = "usage: tap-sim <fig2|fig3|fig4a|fig4b|fig5|fig6|secure|resilience|all> \
                          [--paper] [--seed N] [--nodes N] [--tunnels N] [--journal N] \
-                         [--threads N] [--csv DIR]";
+                         [--faults PERMILLE] [--threads N] [--csv DIR]";
 
 /// The figure names the binary accepts (plus the pseudo-figure `all`).
-pub const FIGURES: [&str; 7] = ["fig2", "fig3", "fig4a", "fig4b", "fig5", "fig6", "secure"];
+pub const FIGURES: [&str; 8] = [
+    "fig2",
+    "fig3",
+    "fig4a",
+    "fig4b",
+    "fig5",
+    "fig6",
+    "secure",
+    "resilience",
+];
 
 /// A fully parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,6 +73,13 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             "--nodes" => scale.nodes = parse_value("--nodes", iter.next())?,
             "--tunnels" => scale.tunnels = parse_value("--tunnels", iter.next())?,
             "--journal" => scale.journal_cap = parse_value("--journal", iter.next())?,
+            "--faults" => {
+                let n: u32 = parse_value("--faults", iter.next())?;
+                if n > 1000 {
+                    return Err("--faults is a permille, at most 1000".into());
+                }
+                scale.fault_permille = n;
+            }
             "--threads" => {
                 let n: usize = parse_value("--threads", iter.next())?;
                 if n == 0 {
@@ -152,6 +168,28 @@ mod tests {
             .unwrap_err()
             .contains("unsigned integer"));
         assert!(parse_line("fig5 --threads").unwrap_err().contains("value"));
+    }
+
+    #[test]
+    fn faults_flag_is_a_bounded_permille() {
+        let cli = parse_line("resilience --faults 250").unwrap();
+        assert_eq!(cli.which, "resilience");
+        assert_eq!(cli.scale.fault_permille, 250);
+
+        let off = parse_line("resilience --faults 0").unwrap();
+        assert_eq!(off.scale.fault_permille, 0);
+
+        assert!(parse_line("resilience --faults 1001")
+            .unwrap_err()
+            .contains("at most 1000"));
+        assert!(parse_line("resilience --faults x")
+            .unwrap_err()
+            .contains("unsigned integer"));
+        // Order-independence extends to the new flag.
+        let a = parse_line("resilience --faults 80 --paper").unwrap();
+        let b = parse_line("resilience --paper --faults 80").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.scale.fault_permille, 80);
     }
 
     #[test]

@@ -234,7 +234,10 @@ fn tap_path(
         initiator,
         tunnel.entry_hopid(),
         onion,
-        TransitOptions { use_hints: hinted },
+        TransitOptions {
+            use_hints: hinted,
+            ..TransitOptions::default()
+        },
         Some(instruments),
     )
     .expect("static network: tunnels cannot break mid-experiment");

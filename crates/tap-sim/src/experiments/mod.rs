@@ -4,6 +4,7 @@ pub mod churn;
 pub mod collusion;
 pub mod latency;
 pub mod node_failures;
+pub mod resilience;
 pub mod secure_routing;
 pub mod sweeps;
 

@@ -1,0 +1,307 @@
+//! Resilience sweep — graceful degradation under injected faults.
+//!
+//! Not a paper figure: the paper's §7 evaluation assumes fail-stop nodes
+//! and a lossless wire. This sweep measures how TAP's tunnel transit (with
+//! its delivery-timeout/retry shim and §5 hint fallback) degrades when the
+//! wire itself misbehaves: per-link message loss and duplication, a
+//! partition/heal cycle through the middle third of the run, and a
+//! population of nodes crashed on the wire while the overlay still
+//! believes them live.
+//!
+//! The x axis is the per-link loss probability in permille, swept around
+//! the `--faults` center point; each row reports the delivered fraction,
+//! resends per transfer, and give-ups per transfer. The `x = 0` row is the
+//! fault-free baseline and must deliver everything.
+//!
+//! Fault injection is seed-deterministic ([`tap_netsim::FaultPlan`] owns
+//! its own RNG substream) and each (loss, sim) pair is an independent
+//! trial on the figure's [`TrialPool`], so the emitted CSV is
+//! byte-identical at any `--threads N`.
+
+use rand::rngs::StdRng;
+
+use tap_core::metrics::CoreInstruments;
+use tap_core::netdrive::NetDriver;
+use tap_core::tha::{Tha, ThaFactory};
+use tap_core::transit::{HintCache, TransitError, TransitOptions};
+use tap_core::tunnel::Tunnel;
+use tap_core::wire::Destination;
+use tap_id::Id;
+use tap_metrics::Registry;
+use tap_netsim::latency::UniformLatency;
+use tap_netsim::{EndpointId, FaultPlan, Network, NetworkConfig, SimDuration};
+use tap_pastry::storage::ReplicaStore;
+use tap_pastry::{Overlay, PastryConfig};
+
+use crate::engine::TrialPool;
+use crate::report::Series;
+use crate::Scale;
+
+/// Tunnel length used throughout the sweep (the paper's default l = 3).
+const TUNNEL_LENGTH: usize = 3;
+
+/// Send attempts beyond the first before a hop is abandoned.
+const RETRY_BUDGET: u32 = 6;
+
+/// The swept loss levels (permille): the fault-free baseline plus points
+/// around `center`. `center = 0` collapses to the baseline alone.
+pub fn loss_points(center: u32) -> Vec<u32> {
+    let mut pts = vec![0, center / 4, center / 2, center, (center * 2).min(1000)];
+    pts.sort_unstable();
+    pts.dedup();
+    pts
+}
+
+/// Run the sweep at `scale` (`fault_permille` is the center point).
+pub fn run(scale: &Scale) -> Series {
+    let metrics = Registry::new();
+    super::apply_journal(&metrics, scale);
+    let mut series = Series::new(
+        "Resilience — tunnel transfer outcomes vs. injected per-link loss (permille)".to_string(),
+        "loss_permille",
+        vec![
+            "delivered_frac".into(),
+            "retries_per_xfer".into(),
+            "giveups_per_xfer".into(),
+        ],
+    );
+
+    let points = loss_points(scale.fault_permille);
+    let sims = scale.latency_sims.max(1);
+    let transfers = scale.latency_transfers.max(1);
+    let trials: Vec<(u32, usize)> = points
+        .iter()
+        .flat_map(|&loss| (0..sims).map(move |sim| (loss, sim)))
+        .collect();
+    let pool = TrialPool::new(scale, "resilience");
+    let results = pool.run(trials, |idx, &(loss, _sim), rng| {
+        let trial_metrics = Registry::new();
+        super::apply_journal(&trial_metrics, scale);
+        let delivered = simulate_one(
+            scale.nodes,
+            transfers,
+            loss,
+            pool.trial_seed(idx),
+            rng,
+            &trial_metrics,
+        );
+        (delivered, trial_metrics)
+    });
+
+    let mut results = results.into_iter();
+    for &loss in &points {
+        let mut delivered = 0usize;
+        let point_metrics = Registry::new();
+        for _ in 0..sims {
+            let (d, trial_metrics) = results.next().expect("one trial per (loss, sim)");
+            delivered += d;
+            point_metrics.merge(&trial_metrics);
+            metrics.merge(&trial_metrics);
+        }
+        let snap = point_metrics.snapshot();
+        let denom = (sims * transfers) as f64;
+        series.push(
+            f64::from(loss),
+            vec![
+                delivered as f64 / denom,
+                snap.counter("core.transit.retries") as f64 / denom,
+                snap.counter("core.transit.giveups") as f64 / denom,
+            ],
+        );
+    }
+    series.metrics_json = Some(metrics.snapshot().to_json());
+    series
+}
+
+/// One simulation: `transfers` hinted tunnel transfers under loss level
+/// `loss`, with a partition/heal cycle and a crashed-node window through
+/// the middle third. Returns how many transfers delivered.
+fn simulate_one(
+    n: usize,
+    transfers: usize,
+    loss: u32,
+    seed: u64,
+    rng: &mut StdRng,
+    metrics: &Registry,
+) -> usize {
+    let mut overlay = Overlay::new(PastryConfig::paper_defaults());
+    overlay.use_metrics(metrics.clone());
+    let mut net: Network<u64, UniformLatency> = Network::new(
+        NetworkConfig::paper_defaults(),
+        UniformLatency::paper(seed ^ 0x1a7e),
+    );
+    net.use_metrics(metrics.clone());
+    let mut driver = NetDriver::new(net);
+    driver.use_instruments(CoreInstruments::new(metrics));
+
+    let mut nodes: Vec<Id> = Vec::with_capacity(n);
+    let mut eps: Vec<EndpointId> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = overlay.add_random_node(rng);
+        nodes.push(id);
+        eps.push(driver.register(id));
+    }
+    let mut thas: ReplicaStore<Tha> = ReplicaStore::new(3);
+    thas.use_metrics(metrics.clone());
+
+    // loss = 0 is the clean control row: no faults of any kind.
+    if loss > 0 {
+        driver.network_mut().install_faults(
+            FaultPlan::new(seed)
+                .with_loss(loss)
+                .with_duplication(loss / 5)
+                .with_jitter(SimDuration::from_millis(50))
+                .with_spike(loss / 10, SimDuration::from_millis(500)),
+        );
+    }
+
+    // The chaos window covers the middle third of the run: a named cut
+    // isolating every 20th endpoint, plus every 50th node crashed on the
+    // wire (overlay-live — the split-brain the hint fallback handles).
+    let cut_a: Vec<EndpointId> = eps.iter().copied().step_by(20).collect();
+    let cut_b: Vec<EndpointId> = eps
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 20 != 0)
+        .map(|(_, e)| *e)
+        .collect();
+    let crashed: Vec<Id> = nodes.iter().copied().skip(7).step_by(50).collect();
+    let window = (transfers / 3, 2 * transfers / 3);
+
+    let mut delivered = 0usize;
+    for t in 0..transfers {
+        if loss > 0 && t == window.0 {
+            driver.network_mut().partition("sweep-cut", &cut_a, &cut_b);
+            for &id in &crashed {
+                driver.kill_node(id);
+            }
+        }
+        if loss > 0 && t == window.1 {
+            driver.network_mut().heal("sweep-cut");
+            for &id in &crashed {
+                driver.revive_node(id);
+            }
+        }
+        if transfer_once(&mut overlay, &mut thas, &mut driver, rng) {
+            delivered += 1;
+        }
+    }
+    delivered
+}
+
+/// One hinted tunnel transfer between random nodes; true iff it delivered.
+fn transfer_once(
+    overlay: &mut Overlay,
+    thas: &mut ReplicaStore<Tha>,
+    driver: &mut NetDriver<UniformLatency>,
+    rng: &mut StdRng,
+) -> bool {
+    let initiator = overlay.random_node(rng).expect("non-empty overlay");
+    let mut factory = ThaFactory::new(rng, initiator);
+    let mut hops = Vec::with_capacity(TUNNEL_LENGTH);
+    while hops.len() < TUNNEL_LENGTH {
+        let s = factory.next(rng);
+        if thas
+            .insert(overlay, s.hopid, s.stored())
+            .expect("overlay never empties mid-sweep")
+        {
+            hops.push(s);
+        }
+    }
+    let tunnel = Tunnel::new(hops);
+    let mut hints = HintCache::default();
+    hints.refresh(overlay, &tunnel.hop_ids());
+
+    let dest = loop {
+        let d = overlay.random_node(rng).expect("non-empty overlay");
+        if d != initiator {
+            break d;
+        }
+    };
+    let onion = tunnel.build_onion(rng, Destination::Node(dest), b"payload", Some(&hints));
+    let outcome = driver.drive_timed_with_hints(
+        overlay,
+        thas,
+        initiator,
+        tunnel.entry_hopid(),
+        onion,
+        0,
+        TransitOptions {
+            use_hints: true,
+            retry_budget: RETRY_BUDGET,
+        },
+        Some(&mut hints),
+    );
+    for hopid in tunnel.hop_ids() {
+        thas.remove(hopid);
+    }
+    match outcome {
+        Ok(_) => true,
+        Err(TransitError::RetriesExhausted { .. }) => false,
+        // The overlay itself never changes, so any other transit error
+        // would be a harness bug, not an injected fault.
+        Err(e) => panic!("unexpected transit failure under faults: {e:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            nodes: 250,
+            latency_sims: 1,
+            latency_transfers: 24,
+            fault_permille: 200,
+            seed: 11,
+            ..Scale::quick()
+        }
+    }
+
+    #[test]
+    fn loss_points_bracket_the_center() {
+        assert_eq!(loss_points(100), vec![0, 25, 50, 100, 200]);
+        assert_eq!(loss_points(0), vec![0]);
+        assert_eq!(loss_points(800), vec![0, 200, 400, 800, 1000]);
+    }
+
+    #[test]
+    fn baseline_is_lossless_and_chaos_degrades_gracefully() {
+        let s = run(&tiny());
+        let delivered = s.column("delivered_frac").unwrap();
+        let retries = s.column("retries_per_xfer").unwrap();
+        let giveups = s.column("giveups_per_xfer").unwrap();
+
+        // Row 0 is the fault-free control: everything arrives, untouched.
+        assert_eq!(s.rows[0].x, 0.0);
+        assert_eq!(delivered[0], 1.0);
+        assert_eq!(retries[0], 0.0);
+        assert_eq!(giveups[0], 0.0);
+
+        // Under faults the shim works for its deliveries…
+        let last = delivered.len() - 1;
+        assert!(retries[last] > 0.0, "40% loss must force resends");
+        // …and degradation is graceful, not a cliff: most transfers still
+        // arrive, and every non-delivery is an accounted give-up.
+        assert!(delivered[last] > 0.5, "delivered {delivered:?}");
+        for i in 0..=last {
+            assert!(
+                (delivered[i] + giveups[i] - 1.0).abs() < 1e-9,
+                "row {i}: delivered {} + giveups {} must cover every transfer",
+                delivered[i],
+                giveups[i]
+            );
+        }
+    }
+
+    #[test]
+    fn faults_zero_turns_the_sweep_off() {
+        let s = run(&Scale {
+            fault_permille: 0,
+            ..tiny()
+        });
+        assert_eq!(s.rows.len(), 1, "only the control row");
+        assert_eq!(s.column("delivered_frac").unwrap()[0], 1.0);
+    }
+}

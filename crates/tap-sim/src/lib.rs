@@ -10,6 +10,7 @@
 //! | [`experiments::sweeps`] | Fig. 4(a)/(b) | Corruption vs. replication factor `k` and vs. tunnel length `l` |
 //! | [`experiments::churn`] | Fig. 5 | Corruption over time under churn — unrefreshed vs. refreshed tunnels |
 //! | [`experiments::latency`] | Fig. 6 | 2 Mb transfer latency vs. network size — overt vs. TAP_basic vs. TAP_opt at l ∈ {3, 5} |
+//! | [`experiments::resilience`] | — (robustness) | How gracefully do tunnel transfers degrade under injected loss, duplication, partitions, and crashes? |
 //!
 //! Every experiment takes a [`Scale`]: `Scale::paper()` reproduces the
 //! published parameters (10^4 nodes, 5 000 tunnels, 30×1 000 transfers);
@@ -56,6 +57,13 @@ pub struct Scale {
     /// [`MetricsReport`](tap_metrics::MetricsReport) JSON. Set from the
     /// CLI with `--journal N`.
     pub journal_cap: usize,
+    /// Fault severity for the resilience experiment, in permille (0–1000):
+    /// the per-link loss probability at the sweep's center point. The
+    /// other fault knobs (duplication, crash population) scale off it.
+    /// `0` disables injected faults entirely. Set from the CLI with
+    /// `--faults N`; the anonymity/latency figures ignore it, so their
+    /// CSVs are byte-identical at any value.
+    pub fault_permille: u32,
     /// Worker threads for each figure's [`engine::TrialPool`]. Results are
     /// bit-identical at any value (per-trial RNG substreams); this knob
     /// only trades wall-clock for cores. The CLI defaults it to
@@ -79,6 +87,7 @@ impl Scale {
             churn_per_unit: 100,
             seed: 20040815, // ICPP 2004
             journal_cap: 0,
+            fault_permille: 100,
             threads: 1,
         }
     }
@@ -97,6 +106,7 @@ impl Scale {
             churn_per_unit: 50,
             seed: 20040815,
             journal_cap: 0,
+            fault_permille: 100,
             threads: 1,
         }
     }

@@ -1,9 +1,9 @@
 //! `tap-sim` — regenerate the TAP paper's figures from the command line.
 //!
 //! ```text
-//! tap-sim <fig2|fig3|fig4a|fig4b|fig5|fig6|secure|all> \
+//! tap-sim <fig2|fig3|fig4a|fig4b|fig5|fig6|secure|resilience|all> \
 //!         [--paper] [--seed N] [--nodes N] [--tunnels N] [--journal N] \
-//!         [--threads N] [--csv DIR]
+//!         [--faults PERMILLE] [--threads N] [--csv DIR]
 //! ```
 //!
 //! Default scale is `quick` (seconds); `--paper` runs the published
@@ -15,6 +15,10 @@
 //! available parallelism). Results are bit-identical at any thread count —
 //! per-trial RNG substreams, not shared streams — so the flag only trades
 //! wall-clock for cores.
+//!
+//! `--faults PERMILLE` centers the resilience sweep's injected per-link
+//! loss probability (default 100 = 10%; 0 disables fault injection). The
+//! paper figures ignore it.
 //!
 //! `--journal N` selects journal verbosity: each experiment's metrics
 //! registry keeps the most recent `N` events (takeovers, drops, …) and
@@ -55,6 +59,7 @@ fn main() {
         ("fig5", experiments::churn::run),
         ("fig6", experiments::latency::run),
         ("secure", experiments::secure_routing::run),
+        ("resilience", experiments::resilience::run),
     ];
     let selected: Vec<&Job> = if parsed.which == "all" {
         jobs.iter().collect()

@@ -40,6 +40,7 @@ fn main() {
         probe: true,
         min_pool: 10,
         replenish_batch: 10,
+        re_replicate: true,
     };
     let mut mgr = TunnelManager::new(user, 3, policy);
     for unit in 1..=40 {

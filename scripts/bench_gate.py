@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Bench regression gate over the BENCH_sim.json trajectory.
+
+Usage: bench_gate.py <committed BENCH_sim.json> <fresh BENCH_sim.json>
+
+The committed file is the repo's perf trajectory (every `tap-sim` run
+appends a record); the fresh file is produced by the CI run under test.
+The gate fails when any figure of the fresh run's *last* record is more
+than REGRESSION_FACTOR slower than the best committed record with the
+same configuration (preset, nodes, tunnels, threads). Figures with no
+comparable committed baseline — e.g. a figure added in the PR under test
+— are reported and skipped, so the gate never blocks new experiments.
+
+A small absolute slack keeps sub-second figures from tripping the gate
+on scheduler noise alone.
+"""
+
+import json
+import sys
+
+REGRESSION_FACTOR = 2.0
+ABSOLUTE_SLACK_S = 0.5
+
+
+def config_key(record):
+    return (
+        record.get("preset"),
+        record.get("nodes"),
+        record.get("tunnels"),
+        record.get("seed"),
+        record.get("threads"),
+    )
+
+
+def best_walls(records, key):
+    """figure name -> fastest committed wall_s among records matching key."""
+    best = {}
+    for rec in records:
+        if config_key(rec) != key:
+            continue
+        for fig in rec.get("figures", []):
+            name, wall = fig["name"], float(fig["wall_s"])
+            if wall <= 0.0:
+                continue
+            best[name] = min(best.get(name, wall), wall)
+    return best
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(f"usage: {sys.argv[0]} <committed BENCH_sim.json> <fresh BENCH_sim.json>")
+    with open(sys.argv[1], encoding="utf-8") as f:
+        committed = json.load(f)
+    with open(sys.argv[2], encoding="utf-8") as f:
+        fresh_records = json.load(f)
+    if not fresh_records:
+        sys.exit("bench_gate: fresh trajectory is empty")
+
+    fresh = fresh_records[-1]
+    baseline = best_walls(committed, config_key(fresh))
+
+    failures, skipped = [], []
+    for fig in fresh.get("figures", []):
+        name, wall = fig["name"], float(fig["wall_s"])
+        if name not in baseline:
+            skipped.append(name)
+            continue
+        base = baseline[name]
+        limit = max(REGRESSION_FACTOR * base, base + ABSOLUTE_SLACK_S)
+        verdict = "FAIL" if wall > limit else "ok"
+        print(f"{verdict:>4}  {name:<12} {wall:8.3f}s  (baseline {base:.3f}s, limit {limit:.3f}s)")
+        if wall > limit:
+            failures.append(name)
+    for name in skipped:
+        print(f"skip  {name:<12} no committed baseline for {config_key(fresh)}")
+
+    if failures:
+        sys.exit(f"bench_gate: wall-clock regression >{REGRESSION_FACTOR}x in: {', '.join(failures)}")
+    print("bench_gate: no figure regressed beyond the threshold")
+
+
+if __name__ == "__main__":
+    main()

@@ -266,7 +266,7 @@ fn hints_work_over_chord() {
         w.initiator,
         t.entry_hopid(),
         hinted_onion,
-        TransitOptions { use_hints: true },
+        TransitOptions::hinted(),
     )
     .unwrap();
     let plain_onion = t.build_onion(&mut w.rng, Destination::Node(dest), b"m", None);
