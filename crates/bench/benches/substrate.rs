@@ -150,6 +150,46 @@ fn bench_overlay(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_snapshots(c: &mut Criterion) {
+    // The copy-on-write machinery behind sweep points: a clone is O(N)
+    // Arc bumps, a deep clone copies every routing row and leaf set, and
+    // a checkpoint/rollback cycle pays only for the handles the batch
+    // removal in between actually unshared.
+    let mut group = c.benchmark_group("snapshot");
+    group.sample_size(20);
+
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut overlay = Overlay::new(PastryConfig::paper_defaults());
+    for _ in 0..2_000 {
+        overlay.add_random_node(&mut rng);
+    }
+    let victims: Vec<Id> = {
+        let mut v: Vec<Id> = (0..50)
+            .map(|_| overlay.random_node(&mut rng).unwrap())
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+
+    group.bench_function("cow_clone_2000", |b| b.iter(|| overlay.clone()));
+    group.bench_function("deep_clone_2000", |b| b.iter(|| overlay.deep_clone()));
+    group.bench_function("checkpoint_2000", |b| b.iter(|| overlay.checkpoint()));
+    group.bench_function("kill50_rollback_2000", |b| {
+        b.iter_batched(
+            || overlay.clone(),
+            |mut ov| {
+                let cp = ov.checkpoint();
+                ov.remove_nodes(&victims);
+                ov.rollback(&cp);
+                ov.len()
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
 fn bench_storage(c: &mut Criterion) {
     let mut group = c.benchmark_group("storage");
     group.sample_size(20);
@@ -217,6 +257,7 @@ criterion_group!(
     bench_id,
     bench_chord_vs_pastry,
     bench_overlay,
+    bench_snapshots,
     bench_storage,
     bench_netsim,
     bench_rng_setup

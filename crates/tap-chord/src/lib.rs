@@ -32,4 +32,4 @@
 
 mod overlay;
 
-pub use overlay::{ChordConfig, ChordNode, ChordOverlay};
+pub use overlay::{ChordCheckpoint, ChordConfig, ChordNode, ChordOverlay};

@@ -1,10 +1,15 @@
 //! The Chord ring: membership, finger routing, successor-list failover.
+//!
+//! Like the Pastry overlay, node state is `Arc`-shared copy-on-write:
+//! clones and [`ChordOverlay::checkpoint`] snapshots cost one pointer
+//! bump per node, and a mutation copies only the node it touches.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 use rand::Rng;
 use tap_id::{Id, ID_BITS};
-use tap_pastry::substrate::KeyRouter;
+use tap_pastry::substrate::{KeyRouter, Snapshots};
 use tap_pastry::RouteError;
 
 /// Chord parameters.
@@ -76,7 +81,18 @@ impl ChordNode {
 #[derive(Clone)]
 pub struct ChordOverlay {
     config: ChordConfig,
-    nodes: HashMap<Id, ChordNode>,
+    nodes: HashMap<Id, Arc<ChordNode>>,
+    ring: BTreeSet<Id>,
+    order: Vec<Id>,
+    pos: HashMap<Id, usize>,
+}
+
+/// A saved membership state from [`ChordOverlay::checkpoint`]: ring
+/// indexes plus one `Arc` per node (pointer-sized, not finger-table-
+/// sized).
+#[derive(Clone)]
+pub struct ChordCheckpoint {
+    nodes: HashMap<Id, Arc<ChordNode>>,
     ring: BTreeSet<Id>,
     order: Vec<Id>,
     pos: HashMap<Id, usize>,
@@ -117,7 +133,52 @@ impl ChordOverlay {
 
     /// Borrow a node's state.
     pub fn node(&self, id: Id) -> Option<&ChordNode> {
-        self.nodes.get(&id)
+        self.nodes.get(&id).map(|n| &**n)
+    }
+
+    /// Save the current membership state (structural sharing; no finger
+    /// table or successor list is copied).
+    pub fn checkpoint(&self) -> ChordCheckpoint {
+        ChordCheckpoint {
+            nodes: self.nodes.clone(),
+            ring: self.ring.clone(),
+            order: self.order.clone(),
+            pos: self.pos.clone(),
+        }
+    }
+
+    /// Restore a state saved by [`ChordOverlay::checkpoint`], discarding
+    /// every membership mutation made since.
+    pub fn rollback(&mut self, cp: &ChordCheckpoint) {
+        self.nodes = cp.nodes.clone();
+        self.ring = cp.ring.clone();
+        self.order = cp.order.clone();
+        self.pos = cp.pos.clone();
+    }
+
+    /// A fully-owned copy sharing no node state with `self` (the deep
+    /// oracle for the snapshot proptests).
+    pub fn deep_clone(&self) -> ChordOverlay {
+        ChordOverlay {
+            config: self.config,
+            nodes: self
+                .nodes
+                .iter()
+                .map(|(&id, n)| (id, Arc::new(n.as_ref().clone())))
+                .collect(),
+            ring: self.ring.clone(),
+            order: self.order.clone(),
+            pos: self.pos.clone(),
+        }
+    }
+
+    /// How many node handles are physically shared with `other`
+    /// (diagnostics for the snapshot tests).
+    pub fn handles_shared_with(&self, other: &ChordOverlay) -> usize {
+        self.nodes
+            .iter()
+            .filter(|(id, n)| other.nodes.get(id).is_some_and(|o| Arc::ptr_eq(n, o)))
+            .count()
     }
 
     /// A uniformly random live node.
@@ -200,7 +261,7 @@ impl ChordOverlay {
         self.init_fingers(&mut node);
         node.successor_list = self.successors(id, self.config.successor_list);
         node.predecessor = self.predecessors(id, 1).first().copied();
-        self.nodes.insert(id, node);
+        self.nodes.insert(id, Arc::new(node));
 
         // Eager repair of the neighbourhood: the r predecessors now have a
         // new entry in their successor lists; the old successor gets a new
@@ -209,17 +270,20 @@ impl ChordOverlay {
         true
     }
 
-    /// Remove (leave or fail-stop) `id`.
+    /// Remove (leave or fail-stop) `id`. Idempotent: removing an id that
+    /// is not (or no longer) live returns `false` and changes nothing.
     pub fn remove_node(&mut self, id: Id) -> bool {
         if !self.ring.remove(&id) {
             return false;
         }
         self.nodes.remove(&id);
-        let idx = self.pos.remove(&id).expect("dense index tracks the ring");
-        let last = self.order.pop().expect("non-empty order");
-        if last != id {
-            self.order[idx] = last;
-            self.pos.insert(last, idx);
+        if let Some(idx) = self.pos.remove(&id) {
+            if let Some(last) = self.order.pop() {
+                if last != id {
+                    self.order[idx] = last;
+                    self.pos.insert(last, idx);
+                }
+            }
         }
         self.repair_neighbourhood(id);
         true
@@ -239,9 +303,14 @@ impl ChordOverlay {
         for a in affected {
             let list = self.successors(a, r);
             let pred = self.predecessors(a, 1).first().copied();
-            if let Some(n) = self.nodes.get_mut(&a) {
-                n.successor_list = list;
-                n.predecessor = pred;
+            if let Some(slot) = self.nodes.get_mut(&a) {
+                // Copy the node out of snapshot sharing only when the
+                // repair actually changes it.
+                if slot.successor_list != list || slot.predecessor != pred {
+                    let n = Arc::make_mut(slot);
+                    n.successor_list = list;
+                    n.predecessor = pred;
+                }
             }
         }
     }
@@ -260,7 +329,7 @@ impl ChordOverlay {
     /// going clockwise — Chord's `closest_preceding_node`. Evicts dead
     /// fingers it inspects.
     fn closest_preceding(&mut self, current: Id, key: Id) -> Option<Id> {
-        let node = self.nodes.get(&current).expect("current is live");
+        let node = self.nodes.get(&current)?;
         let mut best: Option<Id> = None;
         let mut dead: Vec<usize> = Vec::new();
         for (i, f) in node.fingers.iter().enumerate() {
@@ -286,11 +355,14 @@ impl ChordOverlay {
             }
         }
         if !dead.is_empty() {
-            let node = self.nodes.get_mut(&current).expect("current is live");
-            for i in dead {
-                // Lazy repair: replace with the oracle's converged value
-                // (what fix_fingers would eventually install), or clear.
-                node.fingers[i] = None;
+            if let Some(slot) = self.nodes.get_mut(&current) {
+                let node = Arc::make_mut(slot);
+                for i in dead {
+                    // Lazy repair: replace with the oracle's converged
+                    // value (what fix_fingers would eventually install),
+                    // or clear.
+                    node.fingers[i] = None;
+                }
             }
         }
         best
@@ -373,6 +445,18 @@ impl ChordOverlay {
                 "predecessor of {id:?} drifted"
             );
         }
+    }
+}
+
+impl Snapshots for ChordOverlay {
+    type Checkpoint = ChordCheckpoint;
+
+    fn checkpoint(&self) -> Self::Checkpoint {
+        ChordOverlay::checkpoint(self)
+    }
+
+    fn rollback(&mut self, cp: &Self::Checkpoint) {
+        ChordOverlay::rollback(self, cp)
     }
 }
 
@@ -565,6 +649,65 @@ mod tests {
         assert!(!ov.add_node(id));
         assert!(!ov.remove_node(Id::from_u64(42)));
         assert_eq!(ov.len(), 10);
+    }
+
+    #[test]
+    fn double_remove_is_idempotent() {
+        let (mut ov, mut rng) = build(60, 11);
+        let victim = ov.random_node(&mut rng).unwrap();
+        assert!(ov.remove_node(victim));
+        assert!(!ov.remove_node(victim), "second kill is a no-op");
+        assert_eq!(ov.len(), 59);
+        ov.assert_ring_exact();
+    }
+
+    #[test]
+    fn checkpoint_rollback_restores_membership() {
+        let (mut ov, mut rng) = build(120, 12);
+        let before: Vec<Id> = ov.ids().collect();
+        let cp = Snapshots::checkpoint(&ov);
+        for _ in 0..30 {
+            let victim = ov.random_node(&mut rng).unwrap();
+            ov.remove_node(victim);
+            ov.add_random_node(&mut rng);
+        }
+        assert_ne!(ov.ids().collect::<Vec<_>>(), before);
+        Snapshots::rollback(&mut ov, &cp);
+        assert_eq!(ov.ids().collect::<Vec<_>>(), before);
+        ov.assert_ring_exact();
+        // Rolled-back routing matches a pristine deep clone, key by key.
+        let mut oracle = ov.deep_clone();
+        let mut rng2 = StdRng::seed_from_u64(99);
+        for _ in 0..40 {
+            let src = ov.random_node(&mut rng2).unwrap();
+            let key = Id::random(&mut rng2);
+            assert_eq!(ov.route(src, key), oracle.route(src, key));
+        }
+    }
+
+    #[test]
+    fn cow_clones_isolate_writes_both_ways() {
+        let (mut ov, mut rng) = build(80, 13);
+        let mut snap = ov.clone();
+        assert_eq!(ov.handles_shared_with(&snap), 80);
+        let victim = ov.random_node(&mut rng).unwrap();
+        assert!(ov.remove_node(victim));
+        assert!(
+            snap.node(victim).is_some(),
+            "snapshot must not see the kill"
+        );
+        snap.assert_ring_exact();
+        let victim2 = loop {
+            let v = snap.random_node(&mut rng).unwrap();
+            if ov.node(v).is_some() {
+                break v;
+            }
+        };
+        assert!(snap.remove_node(victim2));
+        assert!(ov.node(victim2).is_some());
+        ov.assert_ring_exact();
+        snap.assert_ring_exact();
+        assert!(ov.handles_shared_with(&snap) > 0, "untouched nodes shared");
     }
 
     #[test]

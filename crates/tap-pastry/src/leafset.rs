@@ -6,6 +6,13 @@
 //! leaf is the root) and replica placement (PAST stores an object on the
 //! root plus its nearest leaves). Leaf sets are kept eagerly consistent
 //! under churn by [`crate::Overlay`].
+//!
+//! Both sides are `Arc`-shared: cloning a leaf set is two pointer bumps,
+//! and a mutation copies only the one side it writes
+//! ([`Arc::make_mut`]) — the copy-on-write contract overlay snapshots
+//! rely on.
+
+use std::sync::Arc;
 
 use tap_id::Id;
 
@@ -15,9 +22,9 @@ pub struct LeafSet {
     owner: Id,
     half: usize,
     /// Clockwise (successor-side) neighbours, nearest first.
-    cw: Vec<Id>,
+    cw: Arc<Vec<Id>>,
     /// Counter-clockwise (predecessor-side) neighbours, nearest first.
-    ccw: Vec<Id>,
+    ccw: Arc<Vec<Id>>,
 }
 
 impl LeafSet {
@@ -26,8 +33,8 @@ impl LeafSet {
         LeafSet {
             owner,
             half,
-            cw: Vec::with_capacity(half),
-            ccw: Vec::with_capacity(half),
+            cw: Arc::new(Vec::new()),
+            ccw: Arc::new(Vec::new()),
         }
     }
 
@@ -71,11 +78,18 @@ impl LeafSet {
     pub fn rebuild(&mut self, cw: Vec<Id>, ccw: Vec<Id>) {
         debug_assert!(is_sorted_by_cw_distance(self.owner, &cw));
         debug_assert!(is_sorted_by_ccw_distance(self.owner, &ccw));
-        self.cw = cw;
-        self.cw.truncate(self.half);
-        self.ccw = ccw;
-        self.ccw.retain(|id| !self.cw.contains(id));
-        self.ccw.truncate(self.half);
+        let mut cw = cw;
+        cw.truncate(self.half);
+        let mut ccw = ccw;
+        ccw.retain(|id| !cw.contains(id));
+        ccw.truncate(self.half);
+        // A no-op rebuild keeps both sides shared with any snapshot.
+        if *self.cw != cw {
+            self.cw = Arc::new(cw);
+        }
+        if *self.ccw != ccw {
+            self.ccw = Arc::new(ccw);
+        }
     }
 
     /// Insert a node, keeping each side sorted and trimmed. Returns whether
@@ -86,27 +100,26 @@ impl LeafSet {
         }
         let cw_d = self.owner.clockwise_distance(id);
         let ccw_d = self.owner.counter_clockwise_distance(id);
-        let (side, key): (&mut Vec<Id>, _) = if cw_d <= ccw_d {
-            (&mut self.cw, cw_d)
-        } else {
-            (&mut self.ccw, ccw_d)
-        };
+        let cw_side = cw_d <= ccw_d;
         let owner = self.owner;
-        let dist = |x: Id, cw_side: bool| {
+        let dist = |x: Id| {
             if cw_side {
                 owner.clockwise_distance(x)
             } else {
                 owner.counter_clockwise_distance(x)
             }
         };
-        let cw_side = cw_d <= ccw_d;
-        let pos = side
+        let key = if cw_side { cw_d } else { ccw_d };
+        // Find the slot read-only; copy the side only when we will write.
+        let side_ref = if cw_side { &self.cw } else { &self.ccw };
+        let pos = side_ref
             .iter()
-            .position(|&x| dist(x, cw_side) > key)
-            .unwrap_or(side.len());
+            .position(|&x| dist(x) > key)
+            .unwrap_or(side_ref.len());
         if pos >= self.half {
             return false;
         }
+        let side = Arc::make_mut(if cw_side { &mut self.cw } else { &mut self.ccw });
         side.insert(pos, id);
         side.truncate(self.half);
         true
@@ -115,11 +128,11 @@ impl LeafSet {
     /// Remove a departed node. Returns whether it was present.
     pub fn remove(&mut self, id: Id) -> bool {
         if let Some(p) = self.cw.iter().position(|&x| x == id) {
-            self.cw.remove(p);
+            Arc::make_mut(&mut self.cw).remove(p);
             return true;
         }
         if let Some(p) = self.ccw.iter().position(|&x| x == id) {
-            self.ccw.remove(p);
+            Arc::make_mut(&mut self.ccw).remove(p);
             return true;
         }
         false
@@ -142,6 +155,24 @@ impl LeafSet {
         let ccw_edge = self.ccw.last().copied().unwrap_or(self.owner);
         // Arc from ccw_edge clockwise to cw_edge, inclusive on both ends.
         key == ccw_edge || key.between_cw(ccw_edge, cw_edge)
+    }
+
+    /// A fully-owned copy sharing no allocation with `self` (the deep
+    /// oracle for the snapshot proptests).
+    pub fn deep_clone(&self) -> LeafSet {
+        LeafSet {
+            owner: self.owner,
+            half: self.half,
+            cw: Arc::new(self.cw.as_ref().clone()),
+            ccw: Arc::new(self.ccw.as_ref().clone()),
+        }
+    }
+
+    /// How many of the two sides are physically shared with `other`
+    /// (0, 1 or 2 — diagnostics for the snapshot tests).
+    pub fn sides_shared_with(&self, other: &LeafSet) -> usize {
+        usize::from(Arc::ptr_eq(&self.cw, &other.cw))
+            + usize::from(Arc::ptr_eq(&self.ccw, &other.ccw))
     }
 
     /// The member of `leafset ∪ {owner}` numerically closest to `key`
@@ -260,6 +291,35 @@ mod tests {
         let ls = LeafSet::new(id(7), 8);
         assert!(ls.covers(Id::MAX));
         assert_eq!(ls.closest_to(Id::MAX), id(7));
+    }
+
+    #[test]
+    fn clones_share_sides_until_written() {
+        let mut ls = set_with(100, &[105, 110, 95]);
+        let snap = ls.clone();
+        assert_eq!(ls.sides_shared_with(&snap), 2);
+        // Reads and no-op writes keep both sides shared.
+        assert!(ls.covers(id(107)));
+        assert!(!ls.insert(id(105)));
+        assert!(!ls.remove(id(42)));
+        assert_eq!(ls.sides_shared_with(&snap), 2);
+        // Writing the clockwise side copies it; ccw stays shared.
+        assert!(ls.insert(id(103)));
+        assert_eq!(ls.sides_shared_with(&snap), 1);
+        assert_eq!(
+            snap.clockwise(),
+            &[id(105), id(110)],
+            "snapshot must not see the insert"
+        );
+        // A rebuild that changes nothing re-shares nothing but keeps the
+        // current allocations; one that changes a side swaps it out.
+        let before = ls.clone();
+        ls.rebuild(vec![id(103), id(105), id(110)], vec![id(95)]);
+        assert_eq!(ls.sides_shared_with(&before), 2, "no-op rebuild");
+        // deep_clone shares nothing but compares equal.
+        let deep = ls.deep_clone();
+        assert_eq!(deep, ls);
+        assert_eq!(deep.sides_shared_with(&ls), 0);
     }
 
     #[test]

@@ -44,6 +44,6 @@ pub mod substrate;
 
 pub use config::PastryConfig;
 pub use leafset::LeafSet;
-pub use overlay::{NodeHandle, Overlay, RouteError, RouteOutcome};
+pub use overlay::{NodeHandle, Overlay, OverlayCheckpoint, RouteError, RouteOutcome};
 pub use routing_table::RoutingTable;
-pub use substrate::KeyRouter;
+pub use substrate::{KeyRouter, Snapshots};

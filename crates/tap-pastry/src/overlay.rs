@@ -95,6 +95,7 @@ struct OverlayInstruments {
     route_hops: Arc<Histogram>,
     leafset_repairs: Arc<Counter>,
     table_evictions: Arc<Counter>,
+    stale_leafset_refs: Arc<Counter>,
 }
 
 impl OverlayInstruments {
@@ -103,16 +104,24 @@ impl OverlayInstruments {
             route_hops: registry.histogram("pastry.route.hops"),
             leafset_repairs: registry.counter("pastry.leafset.repairs"),
             table_evictions: registry.counter("pastry.table.evictions"),
+            stale_leafset_refs: registry.counter("pastry.stale_leafset_ref"),
             registry,
         }
     }
 }
 
 /// A simulated Pastry overlay.
+///
+/// Cloning is copy-on-write: node handles (and, one level down, routing
+/// table rows and leaf-set sides) are `Arc`-shared with the clone, and a
+/// mutation copies only the state it touches. [`Overlay::checkpoint`] /
+/// [`Overlay::rollback`] expose the same machinery as an explicit
+/// save/restore pair, so a sweep point costs only the nodes it kills or
+/// repairs instead of a full deep copy of the network.
 #[derive(Clone)]
 pub struct Overlay {
     config: PastryConfig,
-    nodes: HashMap<Id, NodeHandle>,
+    nodes: HashMap<Id, Arc<NodeHandle>>,
     ring: BTreeSet<Id>,
     /// Dense membership list for O(1) *uniform* random-node sampling
     /// (successor-of-a-random-probe sampling would be biased by ring-gap
@@ -120,6 +129,30 @@ pub struct Overlay {
     order: Vec<Id>,
     pos: HashMap<Id, usize>,
     instruments: OverlayInstruments,
+}
+
+/// A saved membership state produced by [`Overlay::checkpoint`]: the ring
+/// indexes plus one `Arc` per node handle (pointer-sized, not
+/// table-sized). Restoring with [`Overlay::rollback`] re-shares every
+/// handle the mutations in between had copied.
+#[derive(Clone)]
+pub struct OverlayCheckpoint {
+    nodes: HashMap<Id, Arc<NodeHandle>>,
+    ring: BTreeSet<Id>,
+    order: Vec<Id>,
+    pos: HashMap<Id, usize>,
+}
+
+impl OverlayCheckpoint {
+    /// Number of nodes captured in the checkpoint.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the checkpoint captured an empty overlay.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
 }
 
 impl Overlay {
@@ -175,7 +208,82 @@ impl Overlay {
 
     /// Borrow a node's state.
     pub fn node(&self, id: Id) -> Option<&NodeHandle> {
-        self.nodes.get(&id)
+        self.nodes.get(&id).map(|n| &**n)
+    }
+
+    /// Record (counter + journal) a leaf-set reference to a node that is
+    /// no longer live — e.g. one removed earlier in the same repair
+    /// batch. The reference is skipped, never followed.
+    fn note_stale_leafset_ref(&self, referenced: Id) {
+        self.instruments.stale_leafset_refs.inc();
+        self.instruments.registry.emit(
+            0,
+            "pastry.stale_leafset_ref",
+            format!("skipped repair via dead leafset member {referenced:?}"),
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshots
+    // ------------------------------------------------------------------
+
+    /// Save the current membership state. Costs one `Arc` bump per node
+    /// plus the ring indexes — no routing table or leaf set is copied.
+    pub fn checkpoint(&self) -> OverlayCheckpoint {
+        OverlayCheckpoint {
+            nodes: self.nodes.clone(),
+            ring: self.ring.clone(),
+            order: self.order.clone(),
+            pos: self.pos.clone(),
+        }
+    }
+
+    /// Restore a state saved by [`Overlay::checkpoint`], discarding every
+    /// membership mutation made since. Handles the mutations had copied
+    /// become shared with the checkpoint again; config and metrics wiring
+    /// are untouched (counters keep their accumulated values — a rollback
+    /// undoes the network, not the measurement).
+    pub fn rollback(&mut self, cp: &OverlayCheckpoint) {
+        self.nodes = cp.nodes.clone();
+        self.ring = cp.ring.clone();
+        self.order = cp.order.clone();
+        self.pos = cp.pos.clone();
+    }
+
+    /// A fully-owned copy sharing no node state with `self` — what
+    /// `clone()` used to cost before snapshots. Kept as the oracle the
+    /// snapshot proptests compare COW clones against.
+    pub fn deep_clone(&self) -> Overlay {
+        Overlay {
+            config: self.config,
+            nodes: self
+                .nodes
+                .iter()
+                .map(|(&id, n)| {
+                    (
+                        id,
+                        Arc::new(NodeHandle {
+                            id: n.id,
+                            table: n.table.deep_clone(),
+                            leafset: n.leafset.deep_clone(),
+                        }),
+                    )
+                })
+                .collect(),
+            ring: self.ring.clone(),
+            order: self.order.clone(),
+            pos: self.pos.clone(),
+            instruments: self.instruments.clone(),
+        }
+    }
+
+    /// How many node handles are physically shared with `other`
+    /// (diagnostics for the snapshot tests and benches).
+    pub fn handles_shared_with(&self, other: &Overlay) -> usize {
+        self.nodes
+            .iter()
+            .filter(|(id, n)| other.nodes.get(id).is_some_and(|o| Arc::ptr_eq(n, o)))
+            .count()
     }
 
     /// A uniformly random live node (exact uniformity via a dense index).
@@ -340,33 +448,45 @@ impl Overlay {
         self.ring.insert(id);
         self.pos.insert(id, self.order.len());
         self.order.push(id);
-        self.nodes.insert(id, NodeHandle { id, table, leafset });
+        self.nodes
+            .insert(id, Arc::new(NodeHandle { id, table, leafset }));
         let half = self.config.leaf_half();
         for m in &members {
             let cw = self.successors(*m, half);
             let ccw = self.predecessors(*m, half);
-            let peer = self.nodes.get_mut(m).expect("leafset members are live");
-            peer.leafset.rebuild(cw, ccw);
-            peer.table.consider(id);
-            self.instruments.leafset_repairs.inc();
+            // A member can be stale when callers interleave joins with
+            // batched removals; skip-and-journal instead of panicking.
+            let repaired = match self.nodes.get_mut(m) {
+                Some(slot) => {
+                    let peer = Arc::make_mut(slot);
+                    peer.leafset.rebuild(cw, ccw);
+                    peer.table.consider(id);
+                    true
+                }
+                None => false,
+            };
+            if repaired {
+                self.instruments.leafset_repairs.inc();
+            } else {
+                self.note_stale_leafset_ref(*m);
+            }
         }
         true
     }
 
     /// Remove a node (graceful leave and fail-stop failure look identical
     /// one repair round later, which is the granularity the paper's
-    /// experiments measure at). Returns `false` if the id was not live.
+    /// experiments measure at).
+    ///
+    /// Idempotent: removing an id that is not (or no longer) live returns
+    /// `false` and changes nothing, so overlapping churn units may race
+    /// to kill the same node without panicking.
     pub fn remove_node(&mut self, id: Id) -> bool {
         if !self.ring.remove(&id) {
             return false;
         }
         self.nodes.remove(&id);
-        let idx = self.pos.remove(&id).expect("dense index tracks the ring");
-        let last = self.order.pop().expect("non-empty order list");
-        if last != id {
-            self.order[idx] = last;
-            self.pos.insert(last, idx);
-        }
+        self.detach_from_index(id);
 
         // Repair leaf sets of the window around the departed node.
         let half = self.config.leaf_half();
@@ -376,16 +496,115 @@ impl Overlay {
             .chain(self.predecessors(id, half))
             .collect();
         for a in affected {
-            let cw = self.successors(a, half);
-            let ccw = self.predecessors(a, half);
-            let node = self.nodes.get_mut(&a).expect("affected node is live");
-            if node.leafset.contains(id) || node.leafset.len() < 2 * half {
-                node.leafset.rebuild(cw, ccw);
-                self.instruments.leafset_repairs.inc();
-            }
-            node.table.evict(id);
+            self.repair_survivor(a, &|x| x == id);
         }
         true
+    }
+
+    /// Remove a whole batch of nodes at once (the fail-stop mass-failure
+    /// scenario of Fig. 2): every id is detached first, then each
+    /// surviving neighbour's leaf set is repaired exactly once against
+    /// the post-failure ring — `O(batch + affected)` work instead of one
+    /// full repair round per removal. Duplicate and unknown ids are
+    /// ignored. Returns how many nodes were actually removed.
+    ///
+    /// Consumes no randomness and repairs survivors in id order, so it is
+    /// safe inside deterministic trial workers.
+    pub fn remove_nodes(&mut self, ids: &[Id]) -> usize {
+        // Phase 1: detach everything, keeping each departed node's handle
+        // — its leaf set names the survivors that must repair.
+        let mut departed: Vec<Arc<NodeHandle>> = Vec::new();
+        for &id in ids {
+            if !self.ring.remove(&id) {
+                continue;
+            }
+            if let Some(handle) = self.nodes.remove(&id) {
+                departed.push(handle);
+            }
+            self.detach_from_index(id);
+        }
+        if departed.is_empty() {
+            return 0;
+        }
+
+        // Phase 2: collect repair candidates from the departed nodes' own
+        // leaf sets (window symmetry: any survivor whose leaf set held a
+        // dead node appears in that dead node's leaf set). A member that
+        // was itself removed earlier in the same batch is a stale
+        // reference — skip and journal it, exactly the case the old
+        // one-at-a-time repair path turned into a panic.
+        let mut candidates: BTreeSet<Id> = BTreeSet::new();
+        for handle in &departed {
+            for m in handle.leafset.members() {
+                if self.ring.contains(&m) {
+                    candidates.insert(m);
+                } else {
+                    self.note_stale_leafset_ref(m);
+                }
+            }
+        }
+
+        let removed: std::collections::HashSet<Id> = departed.iter().map(|h| h.id).collect();
+        for a in candidates {
+            self.repair_survivor(a, &|x| removed.contains(&x));
+        }
+        departed.len()
+    }
+
+    /// Drop `id` from the dense sampling index via swap-remove. Tolerates
+    /// an already-detached id (the index simply stays unchanged).
+    fn detach_from_index(&mut self, id: Id) {
+        let Some(idx) = self.pos.remove(&id) else {
+            return;
+        };
+        let Some(last) = self.order.pop() else {
+            return;
+        };
+        if last != id {
+            self.order[idx] = last;
+            self.pos.insert(last, idx);
+        }
+    }
+
+    /// Re-derive survivor `a`'s leaf set against the current (post-
+    /// removal) ring when it references a dead node or is short, and
+    /// evict dead routing-table entries. `dead` decides which ids count
+    /// as departed. Skips (and journals) `a` itself when it is not live.
+    fn repair_survivor(&mut self, a: Id, dead: &dyn Fn(Id) -> bool) {
+        let half = self.config.leaf_half();
+        // Read-only probe first so an untouched survivor stays shared
+        // with any snapshot.
+        let (needs_leafset, needs_eviction) = match self.nodes.get(&a) {
+            Some(node) => (
+                node.leafset.members().any(dead) || node.leafset.len() < 2 * half,
+                node.table.entries().any(dead),
+            ),
+            None => {
+                self.note_stale_leafset_ref(a);
+                return;
+            }
+        };
+        if !needs_leafset && !needs_eviction {
+            return;
+        }
+        let cw = self.successors(a, half);
+        let ccw = self.predecessors(a, half);
+        let repaired = match self.nodes.get_mut(&a) {
+            Some(slot) => {
+                let node = Arc::make_mut(slot);
+                if needs_leafset {
+                    node.leafset.rebuild(cw, ccw);
+                }
+                if needs_eviction {
+                    node.table.evict_where(dead);
+                }
+                needs_leafset
+            }
+            None => false,
+        };
+        if repaired {
+            self.instruments.leafset_repairs.inc();
+        }
     }
 
     // ------------------------------------------------------------------
@@ -486,11 +705,9 @@ impl Overlay {
                     return Ok((Some(h), false));
                 }
                 // Stale entry: lazy repair.
-                self.nodes
-                    .get_mut(&current)
-                    .expect("current is live")
-                    .table
-                    .evict(h);
+                if let Some(slot) = self.nodes.get_mut(&current) {
+                    Arc::make_mut(slot).table.evict(h);
+                }
                 self.instruments.table_evictions.inc();
             }
         }
@@ -525,9 +742,13 @@ impl Overlay {
             }
         }
         if !stale.is_empty() {
-            let node = self.nodes.get_mut(&current).expect("current is live");
-            for s in stale {
-                node.table.evict(s);
+            if let Some(slot) = self.nodes.get_mut(&current) {
+                let node = Arc::make_mut(slot);
+                for s in &stale {
+                    node.table.evict(*s);
+                }
+            }
+            for _ in &stale {
                 self.instruments.table_evictions.inc();
             }
         }
@@ -778,6 +999,145 @@ mod tests {
     }
 
     #[test]
+    fn double_remove_is_idempotent() {
+        // Overlapping churn units may race to kill the same node; the
+        // second kill must be a clean no-op, not a panic.
+        let (mut ov, mut rng) = build(60, 17);
+        let victim = ov.random_node(&mut rng).unwrap();
+        assert!(ov.remove_node(victim));
+        assert!(!ov.remove_node(victim), "second kill is a no-op");
+        assert!(!ov.remove_node(victim), "and so is the third");
+        assert_eq!(ov.len(), 59);
+        ov.assert_leafsets_exact();
+        // The batch form tolerates duplicates and already-dead ids too.
+        let v2 = ov.random_node(&mut rng).unwrap();
+        assert_eq!(ov.remove_nodes(&[v2, v2, victim]), 1);
+        assert_eq!(ov.len(), 58);
+        ov.assert_leafsets_exact();
+        // Sampling still works over the compacted dense index.
+        for _ in 0..20 {
+            let s = ov.random_node(&mut rng).unwrap();
+            assert!(ov.is_live(s));
+        }
+    }
+
+    #[test]
+    fn batch_removal_journals_stale_leafset_refs() {
+        // Kill a contiguous arc of the ring in one batch: each departed
+        // node's leaf set references neighbours removed in the same
+        // batch, which the repair walk must skip-and-journal rather than
+        // panic on.
+        let (mut ov, mut rng) = build(120, 18);
+        let start = ov.ids().next().unwrap();
+        let mut batch = vec![start];
+        batch.extend(ov.successors(start, 5));
+        let stale = ov.metrics().counter("pastry.stale_leafset_ref");
+        assert_eq!(stale.get(), 0);
+        assert_eq!(ov.remove_nodes(&batch), 6);
+        assert!(
+            stale.get() > 0,
+            "adjacent kills must hit (and journal) stale leafset refs"
+        );
+        assert_eq!(ov.len(), 114);
+        ov.assert_leafsets_exact();
+        for _ in 0..30 {
+            let src = ov.random_node(&mut rng).unwrap();
+            let key = Id::random(&mut rng);
+            assert_eq!(ov.route(src, key).unwrap().root, ov.owner_of(key).unwrap());
+        }
+    }
+
+    #[test]
+    fn batch_removal_matches_sequential_removal() {
+        // The batch API must converge to the same membership state as
+        // one-at-a-time removal — only the repair work differs.
+        let (mut a, mut rng) = build(200, 21);
+        let mut b = a.deep_clone();
+        let victims: Vec<Id> = (0..60)
+            .map(|_| a.random_node(&mut rng).unwrap())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        for &v in &victims {
+            a.remove_node(v);
+        }
+        assert_eq!(b.remove_nodes(&victims), victims.len());
+        assert_eq!(a.len(), b.len());
+        a.assert_leafsets_exact();
+        b.assert_leafsets_exact();
+        let mut rng2 = StdRng::seed_from_u64(77);
+        for _ in 0..40 {
+            let src = a.random_node(&mut rng2).unwrap();
+            let key = Id::random(&mut rng2);
+            assert!(b.is_live(src), "same membership");
+            assert_eq!(
+                a.route(src, key).unwrap().root,
+                b.route(src, key).unwrap().root
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_rollback_restores_membership() {
+        let (mut ov, mut rng) = build(150, 19);
+        let before: Vec<Id> = ov.ids().collect();
+        let cp = ov.checkpoint();
+        assert_eq!(cp.len(), 150);
+        assert!(!cp.is_empty());
+        // Mutate hard: kill 40 nodes, add 15 fresh ones, route a bit.
+        let victims: Vec<Id> = before.iter().take(40).copied().collect();
+        ov.remove_nodes(&victims);
+        for _ in 0..15 {
+            ov.add_random_node(&mut rng);
+        }
+        for _ in 0..20 {
+            let src = ov.random_node(&mut rng).unwrap();
+            ov.route(src, Id::random(&mut rng)).unwrap();
+        }
+        assert_ne!(ov.ids().collect::<Vec<_>>(), before);
+        ov.rollback(&cp);
+        assert_eq!(ov.ids().collect::<Vec<_>>(), before);
+        ov.assert_leafsets_exact();
+        ov.assert_tables_structurally_valid();
+        // Rolled-back state routes identically to a pristine deep clone.
+        let mut oracle = ov.deep_clone();
+        let mut rng2 = StdRng::seed_from_u64(123);
+        for _ in 0..40 {
+            let src = ov.random_node(&mut rng2).unwrap();
+            let key = Id::random(&mut rng2);
+            assert_eq!(
+                ov.route(src, key).unwrap().path,
+                oracle.route(src, key).unwrap().path
+            );
+        }
+    }
+
+    #[test]
+    fn cow_clones_isolate_writes_both_ways() {
+        let (mut ov, mut rng) = build(100, 20);
+        let mut snap = ov.clone();
+        assert_eq!(ov.handles_shared_with(&snap), 100, "clone is all-shared");
+        // Writes on the original never surface in the snapshot...
+        let victim = ov.random_node(&mut rng).unwrap();
+        assert!(ov.remove_node(victim));
+        assert!(snap.is_live(victim), "snapshot must not see the kill");
+        snap.assert_leafsets_exact();
+        // ...and writes on the snapshot never surface in the original.
+        let victim2 = loop {
+            let v = snap.random_node(&mut rng).unwrap();
+            if ov.is_live(v) {
+                break v;
+            }
+        };
+        assert!(snap.remove_node(victim2));
+        assert!(ov.is_live(victim2), "original must not see snapshot kill");
+        ov.assert_leafsets_exact();
+        snap.assert_leafsets_exact();
+        // Untouched nodes remain physically shared.
+        assert!(ov.handles_shared_with(&snap) > 0);
+    }
+
+    #[test]
     fn remove_unknown_is_noop() {
         let (mut ov, mut rng) = build(10, 13);
         assert!(!ov.remove_node(Id::random(&mut rng)));
@@ -856,6 +1216,77 @@ mod proptests {
                         prop_assert_eq!(got.root, ov.owner_of(key).unwrap());
                     }
                 }
+            }
+            ov.assert_leafsets_exact();
+            ov.assert_tables_structurally_valid();
+        }
+
+        #[test]
+        fn prop_snapshots_match_deep_clones_and_stay_isolated(
+            seed in any::<u64>(),
+            script in proptest::collection::vec(any::<u8>(), 8..40),
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ov = Overlay::new(PastryConfig::paper_defaults());
+            for _ in 0..32 {
+                ov.add_random_node(&mut rng);
+            }
+
+            // A pristine deep clone and a checkpoint taken at the same
+            // instant, plus a live COW snapshot that must never observe
+            // the writes applied to `ov` below.
+            let oracle = ov.deep_clone();
+            let cp = ov.checkpoint();
+            let witness = ov.clone();
+            let mut witness_ids: Vec<Id> = witness.ids().collect();
+            witness_ids.sort();
+
+            for op in script {
+                match op % 3 {
+                    0 => {
+                        ov.add_random_node(&mut rng);
+                    }
+                    1 if ov.len() > 5 => {
+                        let victim = ov.random_node(&mut rng).unwrap();
+                        ov.remove_node(victim);
+                    }
+                    2 if ov.len() > 8 => {
+                        let mut victims: Vec<Id> = (0..3)
+                            .filter_map(|_| ov.random_node(&mut rng))
+                            .collect();
+                        victims.sort();
+                        victims.dedup();
+                        ov.remove_nodes(&victims);
+                    }
+                    _ => {}
+                }
+            }
+
+            // Two live snapshots never observe each other's writes.
+            let mut still: Vec<Id> = witness.ids().collect();
+            still.sort();
+            prop_assert_eq!(&still, &witness_ids);
+
+            // Rollback restores the pre-script membership exactly…
+            ov.rollback(&cp);
+            let mut rolled: Vec<Id> = ov.ids().collect();
+            rolled.sort();
+            let mut pristine: Vec<Id> = oracle.ids().collect();
+            pristine.sort();
+            prop_assert_eq!(rolled, pristine);
+
+            // …and the rolled-back overlay routes identically to the
+            // pristine deep clone, path for path, for every probed key.
+            // Routing mutates (lazy table eviction), so each side probes
+            // its own clone; observable behavior must not differ.
+            let mut probe = ov.clone();
+            let mut oracle_probe = oracle.deep_clone();
+            for _ in 0..16 {
+                let src = probe.random_node(&mut rng).unwrap();
+                let key = Id::random(&mut rng);
+                let got = probe.route(src, key).unwrap();
+                let want = oracle_probe.route(src, key).unwrap();
+                prop_assert_eq!(got.path, want.path);
             }
             ov.assert_leafsets_exact();
             ov.assert_tables_structurally_valid();

@@ -11,8 +11,19 @@
 //! `~log_{2^b} N` rows are ever non-empty, so a 10^4-node overlay costs a
 //! few hundred bytes of table per node instead of the 15 KB a dense
 //! 40-row matrix would take.
+//!
+//! Rows are additionally `Arc`-shared: cloning a table is `O(depth)`
+//! pointer bumps, and a cloned table's rows stay physically shared with
+//! the original until a mutation touches them ([`Arc::make_mut`] copies
+//! the one row being written, nothing else). This is what makes whole
+//! overlay snapshots cost only the nodes a sweep point actually touches.
+
+use std::sync::Arc;
 
 use tap_id::Id;
+
+/// One `Arc`-shared row: `row[c]` holds a node with next digit `c`.
+type Row = Vec<Option<Id>>;
 
 /// One node's routing table.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,7 +31,8 @@ pub struct RoutingTable {
     owner: Id,
     b: u32,
     /// `rows[r][c]` — a node matching `r` digits with digit `c` next.
-    rows: Vec<Vec<Option<Id>>>,
+    /// Each row is copy-on-write shared between table clones.
+    rows: Vec<Arc<Row>>,
 }
 
 impl RoutingTable {
@@ -45,7 +57,7 @@ impl RoutingTable {
 
     fn ensure_row(&mut self, r: usize) {
         while self.rows.len() <= r {
-            self.rows.push(vec![None; self.cols()]);
+            self.rows.push(Arc::new(vec![None; self.cols()]));
         }
     }
 
@@ -66,13 +78,12 @@ impl RoutingTable {
         let row = self.owner.shared_prefix_digits(candidate, self.b);
         let col = candidate.digit(row, self.b) as usize;
         self.ensure_row(row);
-        let slot = &mut self.rows[row][col];
-        if slot.is_none() {
-            *slot = Some(candidate);
-            true
-        } else {
-            false
+        // Read before write: an occupied slot must not unshare the row.
+        if self.rows[row][col].is_some() {
+            return false;
         }
+        Arc::make_mut(&mut self.rows[row])[col] = Some(candidate);
+        true
     }
 
     /// Force-install `candidate` in its natural slot, evicting any previous
@@ -84,15 +95,41 @@ impl RoutingTable {
         let row = self.owner.shared_prefix_digits(candidate, self.b);
         let col = candidate.digit(row, self.b) as usize;
         self.ensure_row(row);
-        self.rows[row][col] = Some(candidate);
+        if self.rows[row][col] == Some(candidate) {
+            return; // no-op replace keeps the row shared
+        }
+        Arc::make_mut(&mut self.rows[row])[col] = Some(candidate);
     }
 
     /// Remove every slot pointing at `dead`. Returns how many were cleared.
     pub fn evict(&mut self, dead: Id) -> usize {
         let mut cleared = 0;
         for row in &mut self.rows {
-            for slot in row.iter_mut() {
+            // Scan shared; copy a row only when it actually holds `dead`.
+            if !row.contains(&Some(dead)) {
+                continue;
+            }
+            for slot in Arc::make_mut(row).iter_mut() {
                 if *slot == Some(dead) {
+                    *slot = None;
+                    cleared += 1;
+                }
+            }
+        }
+        cleared
+    }
+
+    /// Clear every slot whose occupant fails `live` (batch eviction after
+    /// a mass failure: one pass instead of one [`RoutingTable::evict`] per
+    /// dead node). Rows with only surviving entries stay shared.
+    pub fn evict_where<F: Fn(Id) -> bool>(&mut self, dead: F) -> usize {
+        let mut cleared = 0;
+        for row in &mut self.rows {
+            if !row.iter().flatten().any(|id| dead(*id)) {
+                continue;
+            }
+            for slot in Arc::make_mut(row).iter_mut() {
+                if matches!(*slot, Some(id) if dead(id)) {
                     *slot = None;
                     cleared += 1;
                 }
@@ -130,7 +167,7 @@ impl RoutingTable {
 
     /// All populated entries (row-major).
     pub fn entries(&self) -> impl Iterator<Item = Id> + '_ {
-        self.rows.iter().flatten().flatten().copied()
+        self.rows.iter().flat_map(|r| r.iter()).flatten().copied()
     }
 
     /// Copy every entry of `other`'s row `row` into this table (the join
@@ -141,6 +178,30 @@ impl RoutingTable {
                 self.consider(*id);
             }
         }
+    }
+
+    /// A fully-owned copy: every row is reallocated, sharing nothing with
+    /// `self`. The oracle the snapshot proptests compare COW clones against.
+    pub fn deep_clone(&self) -> RoutingTable {
+        RoutingTable {
+            owner: self.owner,
+            b: self.b,
+            rows: self
+                .rows
+                .iter()
+                .map(|r| Arc::new(r.as_ref().clone()))
+                .collect(),
+        }
+    }
+
+    /// How many rows are physically shared (same allocation) with `other`
+    /// (diagnostics for the snapshot tests and benches).
+    pub fn rows_shared_with(&self, other: &RoutingTable) -> usize {
+        self.rows
+            .iter()
+            .zip(other.rows.iter())
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
     }
 
     /// Number of populated slots (diagnostics).
@@ -284,6 +345,52 @@ mod tests {
         // Both donated entries share 1 digit with the new owner too.
         assert_eq!(rt.entry(1, 5), Some(hexid("1511")));
         assert_eq!(rt.entry(1, 9), Some(hexid("1911")));
+        rt.assert_invariants();
+    }
+
+    #[test]
+    fn clones_share_rows_until_written() {
+        let mut rt = RoutingTable::new(hexid("00"), 4);
+        rt.consider(hexid("a1")); // row 0
+        rt.consider(hexid("0b")); // row 1
+        let snap = rt.clone();
+        assert_eq!(rt.rows_shared_with(&snap), rt.depth());
+        // Reads never unshare.
+        assert_eq!(snap.entry(0, 0xa), Some(hexid("a1")));
+        assert_eq!(rt.rows_shared_with(&snap), rt.depth());
+        // Writing one row copies only that row; the snapshot is unmoved.
+        rt.replace(hexid("0c"));
+        assert_eq!(rt.rows_shared_with(&snap), rt.depth() - 1);
+        assert_eq!(snap.entry(1, 0xc), None, "snapshot must not see the write");
+        assert_eq!(rt.entry(1, 0xc), Some(hexid("0c")));
+        // No-op mutations (occupied consider, identical replace, eviction
+        // of an absent id) keep every row shared.
+        let snap2 = rt.clone();
+        assert!(!rt.consider(hexid("a2")));
+        rt.replace(hexid("0c"));
+        assert_eq!(rt.evict(hexid("77")), 0);
+        assert_eq!(rt.rows_shared_with(&snap2), rt.depth());
+        // deep_clone is equal but shares nothing.
+        let deep = rt.deep_clone();
+        assert_eq!(deep, rt);
+        assert_eq!(deep.rows_shared_with(&rt), 0);
+    }
+
+    #[test]
+    fn evict_where_batches_and_preserves_sharing() {
+        let mut rt = RoutingTable::new(hexid("00"), 4);
+        rt.consider(hexid("a1")); // row 0 col a
+        rt.consider(hexid("b1")); // row 0 col b
+        rt.consider(hexid("0b")); // row 1 col b
+        let snap = rt.clone();
+        let dead = [hexid("a1"), hexid("b1")];
+        assert_eq!(rt.evict_where(|id| dead.contains(&id)), 2);
+        assert_eq!(rt.entry(0, 0xa), None);
+        assert_eq!(rt.entry(0, 0xb), None);
+        assert_eq!(rt.entry(1, 0xb), Some(hexid("0b")));
+        // Only row 0 was touched; row 1 stays shared with the snapshot.
+        assert_eq!(rt.rows_shared_with(&snap), 1);
+        assert_eq!(snap.entry(0, 0xa), Some(hexid("a1")));
         rt.assert_invariants();
     }
 

@@ -16,7 +16,7 @@
 //!   that was *ever* given a replica keeps the secret forever. Fig. 5's
 //!   churn experiment is exactly this set growing over time.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
 use tap_id::Id;
@@ -271,6 +271,26 @@ impl<V> ReplicaStore<V> {
         }
     }
 
+    /// Repair after a whole batch of nodes left at once (the storage-side
+    /// companion to `Overlay::remove_nodes`). Call **after** the overlay
+    /// removed them: every object any departed node held is re-replicated
+    /// onto the current k-closest set exactly once — an object that lost
+    /// several holders in the same batch is repaired once, not once per
+    /// casualty. Keys are repaired in id order, so the repair/eviction
+    /// counters are independent of the input order.
+    pub fn on_nodes_removed(&mut self, overlay: &impl KeyRouter, nodes: &[Id]) {
+        let mut keys: BTreeSet<Id> = BTreeSet::new();
+        for n in nodes {
+            if let Some(held) = self.held.remove(n) {
+                keys.extend(held);
+            }
+        }
+        for key in keys {
+            let new_holders = overlay.replica_set(key, self.k);
+            self.reassign(key, new_holders);
+        }
+    }
+
     /// Rebalance after `node` joined. Call **after** the overlay has added
     /// it: objects whose key the newcomer is now among the `k` closest to
     /// migrate a replica onto it (and the displaced farthest holder drops
@@ -385,6 +405,52 @@ mod tests {
         store.assert_replica_invariant(&ov);
         // History remembers the dead root.
         assert!(store.get(key).unwrap().ever_held.contains(&before[0]));
+    }
+
+    #[test]
+    fn batch_removal_repairs_each_object_once() {
+        let (mut ov, mut rng) = build(150, 11);
+        let mut store = ReplicaStore::new(3);
+        let metrics = tap_metrics::Registry::new();
+        store.use_metrics(metrics.clone());
+        let mut keys = Vec::new();
+        for _ in 0..80 {
+            let k = Id::random(&mut rng);
+            store.insert(&ov, k, ()).unwrap();
+            keys.push(k);
+        }
+        // Kill an entire replica set at once: the object lost all three
+        // holders in the same batch but must be reassigned exactly once.
+        let victims: Vec<Id> = {
+            let mut v = store.holders(keys[0]).to_vec();
+            v.sort_unstable();
+            v
+        };
+        let repairs_before = metrics.snapshot().counter("pastry.replica.repairs");
+        assert_eq!(ov.remove_nodes(&victims), victims.len());
+        store.on_nodes_removed(&ov, &victims);
+        store.assert_replica_invariant(&ov);
+        // keys[0] was repaired once; other objects holding a victim were
+        // each repaired at most once too, so the repair count is bounded
+        // by the number of affected objects (strictly fewer than the
+        // per-casualty count when replica sets overlap).
+        let repaired = metrics.snapshot().counter("pastry.replica.repairs") - repairs_before;
+        let affected: usize = keys
+            .iter()
+            .filter(|k| {
+                store
+                    .get(**k)
+                    .unwrap()
+                    .ever_held
+                    .iter()
+                    .any(|h| victims.contains(h))
+            })
+            .count();
+        assert!(repaired <= affected as u64, "{repaired} > {affected}");
+        assert!(
+            store.holders(keys[0]).len() == 3,
+            "object back to full strength"
+        );
     }
 
     #[test]

@@ -55,6 +55,40 @@ pub trait KeyRouter {
     fn node_count(&self) -> usize;
 }
 
+/// Copy-on-write snapshot support for a substrate: save the membership
+/// state in O(nodes) pointer bumps, mutate freely, restore later. Kept
+/// separate from [`KeyRouter`] (which stays object-safe — it is used as
+/// `dyn KeyRouter`) because of the associated checkpoint type.
+///
+/// The contract, pinned down by the snapshot proptests in both overlay
+/// crates: after `rollback(cp)` the substrate routes exactly like a deep
+/// copy taken at `checkpoint()` time, and two live snapshots never
+/// observe each other's writes.
+pub trait Snapshots {
+    /// Opaque saved state handle.
+    type Checkpoint;
+
+    /// Save the current membership state (cheap: structural sharing, no
+    /// per-node routing state is copied).
+    fn checkpoint(&self) -> Self::Checkpoint;
+
+    /// Restore a saved state, discarding every membership mutation made
+    /// since the checkpoint. Metrics wiring is untouched.
+    fn rollback(&mut self, cp: &Self::Checkpoint);
+}
+
+impl Snapshots for Overlay {
+    type Checkpoint = crate::overlay::OverlayCheckpoint;
+
+    fn checkpoint(&self) -> Self::Checkpoint {
+        Overlay::checkpoint(self)
+    }
+
+    fn rollback(&mut self, cp: &Self::Checkpoint) {
+        Overlay::rollback(self, cp)
+    }
+}
+
 impl KeyRouter for Overlay {
     fn is_live(&self, node: Id) -> bool {
         Overlay::is_live(self, node)

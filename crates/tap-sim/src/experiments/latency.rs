@@ -29,7 +29,7 @@ use tap_netsim::{EndpointId, Event, Network, NetworkConfig, SimDuration};
 use tap_pastry::storage::ReplicaStore;
 use tap_pastry::{Overlay, PastryConfig};
 
-use crate::engine::TrialPool;
+use crate::engine::{substream_seed, TrialPool};
 use crate::report::Series;
 use crate::Scale;
 
@@ -86,30 +86,48 @@ pub fn run_with_model(scale: &Scale, model: TopologyModel) -> Series {
         ],
     );
 
+    // Building the overlay dominates a trial's cost at paper scale, and
+    // every sim at a given size routes over an identically-seeded one —
+    // so build each size's overlay exactly once, up front, and hand every
+    // trial a copy-on-write clone (O(N) Arc bumps; the static network
+    // never kills a node, so routing never evicts and nothing unshares).
+    let sizes = network_sizes(scale.nodes);
+    let bases: Vec<(Overlay, Vec<Id>)> = sizes
+        .iter()
+        .map(|&n| {
+            let mut rng = StdRng::seed_from_u64(substream_seed(scale.seed, "fig6-base", n));
+            let mut overlay = Overlay::new(PastryConfig::paper_defaults());
+            overlay.use_metrics(metrics.clone());
+            let ids = (0..n).map(|_| overlay.add_random_node(&mut rng)).collect();
+            (overlay, ids)
+        })
+        .collect();
+
     // The paper's 30 independent simulations per network size are the
     // trial list: every (size, sim) pair is one trial on its own RNG
-    // substream, each building its own overlay + network + registry, so
-    // the whole figure fans out across workers with no shared state.
-    let sizes = network_sizes(scale.nodes);
-    let trials: Vec<(usize, usize)> = sizes
-        .iter()
-        .flat_map(|&n| (0..scale.latency_sims).map(move |sim| (n, sim)))
+    // substream with its own network + registry, reading the shared base
+    // overlays, so the whole figure fans out across workers.
+    let trials: Vec<(usize, usize)> = (0..sizes.len())
+        .flat_map(|si| (0..scale.latency_sims).map(move |sim| (si, sim)))
         .collect();
     let pool = TrialPool::new(scale, "fig6");
-    let results = pool.run(trials, |idx, &(n, _sim), _rng| {
+    let results = pool.run(trials, |idx, &(si, _sim), _rng| {
         let trial_metrics = Registry::new();
         super::apply_journal(&trial_metrics, scale);
         let seed = pool.trial_seed(idx);
+        let (base, ids) = &bases[si];
         let per_transfer = match model {
             TopologyModel::Uniform => simulate_one(
-                n,
+                base,
+                ids,
                 scale.latency_transfers,
                 seed,
                 UniformLatency::paper(seed ^ 0x1a7e),
                 &trial_metrics,
             ),
             TopologyModel::Euclidean => simulate_one(
-                n,
+                base,
+                ids,
                 scale.latency_transfers,
                 seed,
                 EuclideanLatency::paper(seed ^ 0x1a7e),
@@ -136,22 +154,23 @@ pub fn run_with_model(scale: &Scale, model: TopologyModel) -> Series {
     series
 }
 
-/// One simulation at size `n`: returns summed seconds per variant.
+/// One simulation over a copy-on-write clone of the shared base overlay:
+/// returns summed seconds per variant.
 fn simulate_one<L: LatencyModel>(
-    n: usize,
+    base: &Overlay,
+    ids: &[Id],
     transfers: usize,
     seed: u64,
     latency: L,
     metrics: &Registry,
 ) -> [f64; 5] {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut overlay = Overlay::new(PastryConfig::paper_defaults());
+    let mut overlay = base.clone();
     overlay.use_metrics(metrics.clone());
     let mut net: Network<usize, L> = Network::new(NetworkConfig::paper_defaults(), latency);
     net.use_metrics(metrics.clone());
-    let mut endpoint_of: HashMap<Id, EndpointId> = HashMap::with_capacity(n);
-    for _ in 0..n {
-        let id = overlay.add_random_node(&mut rng);
+    let mut endpoint_of: HashMap<Id, EndpointId> = HashMap::with_capacity(ids.len());
+    for &id in ids {
         endpoint_of.insert(id, net.add_endpoint());
     }
     let mut thas: ReplicaStore<Tha> = ReplicaStore::new(3);

@@ -177,15 +177,17 @@ fn spot_check_with_transit(
     dead: &HashSet<Id>,
     rng: &mut StdRng,
 ) {
+    // Copy-on-write: the clone shares every node handle with the testbed
+    // overlay, so this costs O(N) pointer bumps and the sweep point pays
+    // only for the nodes the batch removal below actually repairs.
     let mut overlay = tb.overlay.clone();
     overlay.use_metrics(trial_metrics.clone());
     // Sorted removal: HashSet iteration order varies per instance, and the
-    // repair work each removal triggers must not.
+    // repair work each removal triggers must not. The batch API detaches
+    // the whole dead set first and repairs each survivor exactly once.
     let mut dead_sorted: Vec<Id> = dead.iter().copied().collect();
     dead_sorted.sort();
-    for d in dead_sorted {
-        overlay.remove_node(d);
-    }
+    overlay.remove_nodes(&dead_sorted);
     let checks = tb.tunnels.len().min(SPOT_CHECKS);
     for i in 0..checks {
         let t = &tb.tunnels[i];

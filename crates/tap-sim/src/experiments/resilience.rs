@@ -19,6 +19,7 @@
 //! byte-identical at any `--threads N`.
 
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 use tap_core::metrics::CoreInstruments;
 use tap_core::netdrive::NetDriver;
@@ -33,7 +34,7 @@ use tap_netsim::{EndpointId, FaultPlan, Network, NetworkConfig, SimDuration};
 use tap_pastry::storage::ReplicaStore;
 use tap_pastry::{Overlay, PastryConfig};
 
-use crate::engine::TrialPool;
+use crate::engine::{substream_seed, TrialPool};
 use crate::report::Series;
 use crate::Scale;
 
@@ -66,6 +67,17 @@ pub fn run(scale: &Scale) -> Series {
         ],
     );
 
+    // Every trial routes over the same membership, and faults live in the
+    // wire, not the overlay — so build the overlay once and hand each
+    // trial a copy-on-write clone (O(N) Arc bumps, and since nodes never
+    // leave the overlay, routing never evicts and nothing unshares).
+    let mut base_rng = StdRng::seed_from_u64(substream_seed(scale.seed, "resilience-base", 0));
+    let mut base = Overlay::new(PastryConfig::paper_defaults());
+    base.use_metrics(metrics.clone());
+    let nodes: Vec<Id> = (0..scale.nodes)
+        .map(|_| base.add_random_node(&mut base_rng))
+        .collect();
+
     let points = loss_points(scale.fault_permille);
     let sims = scale.latency_sims.max(1);
     let transfers = scale.latency_transfers.max(1);
@@ -78,7 +90,8 @@ pub fn run(scale: &Scale) -> Series {
         let trial_metrics = Registry::new();
         super::apply_journal(&trial_metrics, scale);
         let delivered = simulate_one(
-            scale.nodes,
+            &base,
+            &nodes,
             transfers,
             loss,
             pool.trial_seed(idx),
@@ -115,16 +128,18 @@ pub fn run(scale: &Scale) -> Series {
 
 /// One simulation: `transfers` hinted tunnel transfers under loss level
 /// `loss`, with a partition/heal cycle and a crashed-node window through
-/// the middle third. Returns how many transfers delivered.
+/// the middle third, over a copy-on-write clone of the shared base
+/// overlay. Returns how many transfers delivered.
 fn simulate_one(
-    n: usize,
+    base: &Overlay,
+    nodes: &[Id],
     transfers: usize,
     loss: u32,
     seed: u64,
     rng: &mut StdRng,
     metrics: &Registry,
 ) -> usize {
-    let mut overlay = Overlay::new(PastryConfig::paper_defaults());
+    let mut overlay = base.clone();
     overlay.use_metrics(metrics.clone());
     let mut net: Network<u64, UniformLatency> = Network::new(
         NetworkConfig::paper_defaults(),
@@ -134,13 +149,7 @@ fn simulate_one(
     let mut driver = NetDriver::new(net);
     driver.use_instruments(CoreInstruments::new(metrics));
 
-    let mut nodes: Vec<Id> = Vec::with_capacity(n);
-    let mut eps: Vec<EndpointId> = Vec::with_capacity(n);
-    for _ in 0..n {
-        let id = overlay.add_random_node(rng);
-        nodes.push(id);
-        eps.push(driver.register(id));
-    }
+    let eps: Vec<EndpointId> = nodes.iter().map(|&id| driver.register(id)).collect();
     let mut thas: ReplicaStore<Tha> = ReplicaStore::new(3);
     thas.use_metrics(metrics.clone());
 

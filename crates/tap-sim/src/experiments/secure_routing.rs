@@ -62,7 +62,9 @@ pub fn run(scale: &Scale) -> Series {
 
     // One trial per malicious fraction: each clones the shared overlay
     // (the routing mechanisms take `&mut`) and records into a private
-    // registry folded back in trial order.
+    // registry folded back in trial order. The clone is copy-on-write —
+    // O(N) Arc bumps up front, and a trial pays full copies only for the
+    // node handles its lazy table evictions actually touch.
     let pool = TrialPool::new(scale, "secure");
     let overlay_ref = &overlay;
     let trials = pool.run(MALICIOUS_FRACTIONS.to_vec(), |_idx, &p, rng| {

@@ -69,12 +69,16 @@ fn main() {
 
     // Figures run one at a time; the parallelism lives *inside* each
     // figure's trial pool, so the per-figure wall-clock below is honest.
-    let mut wall: Vec<(&str, f64)> = Vec::new();
+    // Peak RSS is the process high-water mark sampled after each figure:
+    // monotone within a run, but comparable across runs figure-by-figure
+    // because the figure order is fixed, and exact for single-figure runs.
+    let mut wall: Vec<(&str, f64, Option<u64>)> = Vec::new();
     let mut io_errors = 0usize;
     for (name, job) in &selected {
         let start = Instant::now();
         let series = job(&scale);
         let took = start.elapsed();
+        let rss_kb = peak_rss_kb();
         println!("{series}");
         println!(
             "({name}: {} rows in {took:.2?}, N={}, tunnels={}, threads={})\n",
@@ -94,7 +98,7 @@ fn main() {
                 io_errors += 1;
             }
         }
-        wall.push((name, took.as_secs_f64()));
+        wall.push((name, took.as_secs_f64(), rss_kb));
     }
 
     let bench_path = match &parsed.csv_dir {
@@ -129,24 +133,43 @@ fn write_series_outputs(dir: &str, name: &str, series: &Series) -> Result<(), St
     Ok(())
 }
 
-/// Append this run's wall-clock record to the `BENCH_sim.json` trajectory
-/// (a JSON array of run records; created on first run, rewritten from
-/// scratch if unreadable or malformed).
+/// Peak resident set size of this process in kilobytes, read from
+/// `/proc/self/status` `VmHWM` (Linux; `None` on other platforms, which
+/// simply omits the memory fields from the bench record).
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Append this run's wall-clock + peak-RSS record to the `BENCH_sim.json`
+/// trajectory (a JSON array of run records; created on first run,
+/// rewritten from scratch if unreadable or malformed).
 fn append_bench_record(
     path: &str,
     scale: &Scale,
     paper: bool,
-    wall: &[(&str, f64)],
+    wall: &[(&str, f64, Option<u64>)],
 ) -> Result<(), String> {
     let figures = wall
         .iter()
-        .map(|(name, secs)| format!("{{\"name\":\"{name}\",\"wall_s\":{secs:.3}}}"))
+        .map(|(name, secs, rss_kb)| match rss_kb {
+            Some(kb) => format!(
+                "{{\"name\":\"{name}\",\"wall_s\":{secs:.3},\"peak_rss_mb\":{:.1}}}",
+                *kb as f64 / 1024.0
+            ),
+            None => format!("{{\"name\":\"{name}\",\"wall_s\":{secs:.3}}}"),
+        })
         .collect::<Vec<_>>()
         .join(",");
-    let total: f64 = wall.iter().map(|(_, s)| s).sum();
+    let total: f64 = wall.iter().map(|(_, s, _)| s).sum();
+    let peak = wall.iter().filter_map(|(_, _, kb)| *kb).max();
+    let peak_field = peak
+        .map(|kb| format!(",\"peak_rss_mb\":{:.1}", kb as f64 / 1024.0))
+        .unwrap_or_default();
     let record = format!(
         "{{\"bench\":\"tap-sim\",\"preset\":\"{}\",\"nodes\":{},\"tunnels\":{},\
-         \"seed\":{},\"threads\":{},\"figures\":[{figures}],\"total_wall_s\":{total:.3}}}",
+         \"seed\":{},\"threads\":{},\"figures\":[{figures}],\"total_wall_s\":{total:.3}{peak_field}}}",
         if paper { "paper" } else { "quick" },
         scale.nodes,
         scale.tunnels,

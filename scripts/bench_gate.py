@@ -6,13 +6,17 @@ Usage: bench_gate.py <committed BENCH_sim.json> <fresh BENCH_sim.json>
 The committed file is the repo's perf trajectory (every `tap-sim` run
 appends a record); the fresh file is produced by the CI run under test.
 The gate fails when any figure of the fresh run's *last* record is more
-than REGRESSION_FACTOR slower than the best committed record with the
-same configuration (preset, nodes, tunnels, threads). Figures with no
-comparable committed baseline — e.g. a figure added in the PR under test
-— are reported and skipped, so the gate never blocks new experiments.
+than REGRESSION_FACTOR slower — or more than MEMORY_FACTOR heavier in
+peak RSS — than the best committed record with the same configuration
+(preset, nodes, tunnels, seed, threads). Figures with no comparable
+committed baseline — e.g. a figure added in the PR under test — are
+reported on stderr and skipped, so the gate never blocks new experiments.
 
-A small absolute slack keeps sub-second figures from tripping the gate
-on scheduler noise alone.
+A missing, truncated, or otherwise malformed trajectory file is a hard
+failure: a gate that cannot read its baseline must not report success.
+
+Small absolute slacks keep sub-second figures (and small-footprint runs)
+from tripping the gate on scheduler/allocator noise alone.
 """
 
 import json
@@ -20,6 +24,33 @@ import sys
 
 REGRESSION_FACTOR = 2.0
 ABSOLUTE_SLACK_S = 0.5
+MEMORY_FACTOR = 2.0
+ABSOLUTE_SLACK_MB = 50.0
+
+
+def load_trajectory(path, role):
+    """Parse a trajectory file, failing loudly on anything malformed."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+    except OSError as e:
+        sys.exit(f"bench_gate: cannot read {role} trajectory {path!r}: {e}")
+    try:
+        records = json.loads(raw)
+    except json.JSONDecodeError as e:
+        sys.exit(
+            f"bench_gate: {role} trajectory {path!r} is not valid JSON "
+            f"(truncated write?): {e}"
+        )
+    if not isinstance(records, list):
+        sys.exit(f"bench_gate: {role} trajectory {path!r} must be a JSON array of run records")
+    for i, rec in enumerate(records):
+        if not isinstance(rec, dict) or not isinstance(rec.get("figures"), list):
+            sys.exit(
+                f"bench_gate: {role} trajectory {path!r}: record {i} has no "
+                f"'figures' array — malformed trajectory"
+            )
+    return records
 
 
 def config_key(record):
@@ -32,51 +63,87 @@ def config_key(record):
     )
 
 
-def best_walls(records, key):
-    """figure name -> fastest committed wall_s among records matching key."""
+def best_metric(records, key, field):
+    """figure name -> lowest committed `field` among records matching key."""
     best = {}
     for rec in records:
         if config_key(rec) != key:
             continue
-        for fig in rec.get("figures", []):
-            name, wall = fig["name"], float(fig["wall_s"])
-            if wall <= 0.0:
+        for fig in rec["figures"]:
+            if field not in fig:
                 continue
-            best[name] = min(best.get(name, wall), wall)
+            value = float(fig[field])
+            if value <= 0.0:
+                continue
+            name = fig["name"]
+            best[name] = min(best.get(name, value), value)
     return best
 
 
 def main():
     if len(sys.argv) != 3:
         sys.exit(f"usage: {sys.argv[0]} <committed BENCH_sim.json> <fresh BENCH_sim.json>")
-    with open(sys.argv[1], encoding="utf-8") as f:
-        committed = json.load(f)
-    with open(sys.argv[2], encoding="utf-8") as f:
-        fresh_records = json.load(f)
+    committed = load_trajectory(sys.argv[1], "committed")
+    fresh_records = load_trajectory(sys.argv[2], "fresh")
     if not fresh_records:
         sys.exit("bench_gate: fresh trajectory is empty")
 
     fresh = fresh_records[-1]
-    baseline = best_walls(committed, config_key(fresh))
+    key = config_key(fresh)
+    wall_baseline = best_metric(committed, key, "wall_s")
+    rss_baseline = best_metric(committed, key, "peak_rss_mb")
+    if not wall_baseline:
+        print(
+            f"bench_gate: note: no committed record matches config {key}; "
+            f"every figure below is skipped, not passed",
+            file=sys.stderr,
+        )
 
     failures, skipped = [], []
-    for fig in fresh.get("figures", []):
+    for fig in fresh["figures"]:
         name, wall = fig["name"], float(fig["wall_s"])
-        if name not in baseline:
-            skipped.append(name)
+        if name not in wall_baseline:
+            reason = (
+                f"no committed record with config {key}"
+                if not wall_baseline
+                else "figure absent from every committed record at this config"
+            )
+            skipped.append((name, reason))
             continue
-        base = baseline[name]
+        base = wall_baseline[name]
         limit = max(REGRESSION_FACTOR * base, base + ABSOLUTE_SLACK_S)
         verdict = "FAIL" if wall > limit else "ok"
         print(f"{verdict:>4}  {name:<12} {wall:8.3f}s  (baseline {base:.3f}s, limit {limit:.3f}s)")
         if wall > limit:
-            failures.append(name)
-    for name in skipped:
-        print(f"skip  {name:<12} no committed baseline for {config_key(fresh)}")
+            failures.append(f"{name} (wall)")
+
+        rss = fig.get("peak_rss_mb")
+        if rss is None or name not in rss_baseline:
+            if rss is None:
+                skipped.append((name, "fresh record carries no peak_rss_mb"))
+            else:
+                skipped.append((name, "no committed peak_rss_mb baseline at this config"))
+            continue
+        rss = float(rss)
+        rss_base = rss_baseline[name]
+        rss_limit = max(MEMORY_FACTOR * rss_base, rss_base + ABSOLUTE_SLACK_MB)
+        verdict = "FAIL" if rss > rss_limit else "ok"
+        print(
+            f"{verdict:>4}  {name:<12} {rss:8.1f}MB (baseline {rss_base:.1f}MB, "
+            f"limit {rss_limit:.1f}MB)"
+        )
+        if rss > rss_limit:
+            failures.append(f"{name} (rss)")
+
+    for name, reason in skipped:
+        print(f"bench_gate: skip {name}: {reason}", file=sys.stderr)
 
     if failures:
-        sys.exit(f"bench_gate: wall-clock regression >{REGRESSION_FACTOR}x in: {', '.join(failures)}")
-    print("bench_gate: no figure regressed beyond the threshold")
+        sys.exit(
+            f"bench_gate: regression beyond {REGRESSION_FACTOR}x wall / "
+            f"{MEMORY_FACTOR}x rss in: {', '.join(failures)}"
+        )
+    print("bench_gate: no figure regressed beyond the thresholds")
 
 
 if __name__ == "__main__":
