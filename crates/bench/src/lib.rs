@@ -20,6 +20,7 @@ pub fn bench_scale() -> Scale {
         journal_cap: 0,
         fault_permille: 100,
         threads: 1,
+        shards: 0,
     }
 }
 

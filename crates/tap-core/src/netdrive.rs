@@ -22,7 +22,7 @@ use std::collections::HashMap;
 use tap_crypto::onion;
 use tap_id::Id;
 use tap_netsim::latency::LatencyModel;
-use tap_netsim::{EndpointId, Event, Network, SimDuration, SimTime, TimerToken};
+use tap_netsim::{EndpointId, Event, Network, SimDuration, SimTime, TimerHandle, TimerToken};
 use tap_pastry::storage::ReplicaStore;
 use tap_pastry::{KeyRouter, RouteError};
 
@@ -168,7 +168,7 @@ impl<L: LatencyModel> NetDriver<L> {
         let tag = |idx: usize| (flow << 16) | idx as u64;
         let mut expect = 1usize;
         let mut attempts = 0u32;
-        let mut watchdog = self.arm_watchdog(bytes, attempts);
+        let (mut watchdog, mut guard) = self.arm_watchdog(bytes, attempts);
         self.net.send(eps[0], eps[1], bytes, tag(1));
         while let Some(ev) = self.net.next_event() {
             match ev {
@@ -181,16 +181,23 @@ impl<L: LatencyModel> NetDriver<L> {
                         continue; // duplicate of an already-advanced hop
                     }
                     if idx + 1 == eps.len() {
+                        // Retire the pending watchdog instead of letting it
+                        // fire into a later chain's drain as a stale token.
+                        self.net.cancel_timer(guard);
                         return Ok((m.delivered_at - start, eps.len() - 1));
                     }
                     expect += 1;
                     attempts = 0;
-                    watchdog = self.arm_watchdog(bytes, attempts);
+                    self.net.cancel_timer(guard);
+                    (watchdog, guard) = self.arm_watchdog(bytes, attempts);
                     self.net.send(eps[idx], eps[idx + 1], bytes, tag(expect));
                 }
                 Event::Timer { token, .. } => {
                     if token != watchdog {
-                        continue; // stale watchdog from a hop that completed
+                        // Cancellation makes this unreachable for our own
+                        // watchdogs; kept as defense against foreign timers
+                        // sharing the network.
+                        continue;
                     }
                     if attempts >= options.retry_budget {
                         if terminal {
@@ -209,22 +216,24 @@ impl<L: LatencyModel> NetDriver<L> {
                             .record(Self::resend_timeout(bytes, attempts).as_micros());
                     }
                     attempts += 1;
-                    watchdog = self.arm_watchdog(bytes, attempts);
+                    (watchdog, guard) = self.arm_watchdog(bytes, attempts);
                     self.net
                         .send(eps[expect - 1], eps[expect], bytes, tag(expect));
                 }
             }
         }
-        unreachable!("an armed watchdog timer keeps the event heap non-empty")
+        unreachable!("an armed watchdog timer keeps the event queue non-empty")
     }
 
-    /// Arm the per-hop delivery watchdog and return its token.
-    fn arm_watchdog(&mut self, bytes: u64, attempt: u32) -> TimerToken {
+    /// Arm the per-hop delivery watchdog; the handle cancels it once the
+    /// hop completes (a fired or cancelled handle is inert).
+    fn arm_watchdog(&mut self, bytes: u64, attempt: u32) -> (TimerToken, TimerHandle) {
         self.timer_seq += 1;
         let token = TimerToken(self.timer_seq);
-        self.net
-            .set_timer(Self::resend_timeout(bytes, attempt), token);
-        token
+        let handle = self
+            .net
+            .arm_timer(Self::resend_timeout(bytes, attempt), token);
+        (token, handle)
     }
 
     /// Drive `onion_bytes` (plus `payload_bytes` of application data

@@ -15,6 +15,12 @@
 //! * **scheduled crash/restart** — endpoints go down and come back at
 //!   planned virtual times, without the caller driving `kill`/`revive`.
 //!
+//! The crash/restart schedule and every delayed redelivery ride the
+//! kernel's [`CalendarQueue`](crate::sched::CalendarQueue) like any other
+//! event, so fault timing obeys the same `(timestamp, sequence)` total
+//! order — including the FIFO-at-equal-timestamps invariant — as normal
+//! traffic.
+//!
 //! Every probabilistic decision is drawn from the plan's **own** RNG
 //! substream (a splitmix64 counter stream over the plan's seed — the same
 //! discipline the simulation harness uses for trial substreams), and the

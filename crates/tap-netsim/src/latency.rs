@@ -28,6 +28,17 @@ pub trait LatencyModel {
     /// Called when an endpoint is created, so coordinate-based models can
     /// lazily place it. Default: nothing.
     fn on_endpoint_added(&mut self, _id: EndpointId) {}
+
+    /// A lower bound on the delay between any two *distinct* endpoints.
+    ///
+    /// The sharded event loop ([`crate::shard`]) derives its conservative
+    /// lookahead window from this bound: any cross-shard message sent in a
+    /// window of this width provably arrives after the window ends. The
+    /// default (zero) is always sound but forbids sharding; models with a
+    /// real latency floor should override it.
+    fn min_delay(&self) -> SimDuration {
+        SimDuration::ZERO
+    }
 }
 
 /// SplitMix64 — a tiny, high-quality hash for pair → delay derivation
@@ -80,6 +91,10 @@ impl LatencyModel for UniformLatency {
         );
         let span = self.max.as_micros() - self.min.as_micros() + 1;
         SimDuration::from_micros(self.min.as_micros() + h % span)
+    }
+
+    fn min_delay(&self) -> SimDuration {
+        self.min
     }
 }
 
@@ -143,6 +158,10 @@ impl LatencyModel for EuclideanLatency {
         debug_assert_eq!(id.index(), self.coords.len(), "endpoints added in order");
         let p = (self.rng.gen::<f64>(), self.rng.gen::<f64>());
         self.coords.push(p);
+    }
+
+    fn min_delay(&self) -> SimDuration {
+        self.min
     }
 }
 

@@ -57,10 +57,15 @@ pub mod bandwidth;
 pub mod fault;
 pub mod latency;
 mod network;
+pub mod sched;
+pub mod shard;
 mod time;
 
 pub use fault::{FaultAction, FaultPlan, ScheduledFault};
 pub use network::{
-    DeliveredMessage, EndpointId, Event, Livelock, Network, NetworkConfig, TimerToken, TrafficStats,
+    DeliveredMessage, EndpointId, Event, Livelock, Network, NetworkConfig, TimerHandle, TimerToken,
+    TrafficStats,
 };
-pub use time::{SimDuration, SimTime};
+pub use sched::{CalendarQueue, EventHandle, EventKey};
+pub use shard::{ShardCtx, ShardedNetwork};
+pub use time::{SimDuration, SimTime, TimeError};

@@ -1,7 +1,5 @@
 //! The event kernel: endpoints, timers, and message delivery.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use tap_metrics::{Counter, Histogram, Registry};
@@ -9,6 +7,7 @@ use tap_metrics::{Counter, Histogram, Registry};
 use crate::bandwidth::Nic;
 use crate::fault::{FaultAction, FaultPlan};
 use crate::latency::LatencyModel;
+use crate::sched::{CalendarQueue, EventHandle};
 use crate::time::{SimDuration, SimTime};
 
 /// Index of an endpoint attached to the network.
@@ -32,6 +31,23 @@ impl EndpointId {
 /// Caller-defined timer identifier, returned inside [`Event::Timer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimerToken(pub u64);
+
+/// Handle to a pending timer, returned by [`Network::arm_timer`] and
+/// consumed by [`Network::cancel_timer`]. Stale handles (the timer already
+/// fired or was cancelled) are harmless: cancellation simply reports
+/// `false`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerHandle {
+    inner: EventHandle,
+    at: SimTime,
+}
+
+impl TimerHandle {
+    /// The instant the timer is scheduled to fire.
+    pub fn fires_at(self) -> SimTime {
+        self.at
+    }
+}
 
 /// A message handed to its destination endpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -186,40 +202,20 @@ impl NetInstruments {
     }
 }
 
-struct HeapEntry<M> {
-    at: SimTime,
-    seq: u64,
-    pending: Pending<M>,
-}
-
-impl<M> PartialEq for HeapEntry<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for HeapEntry<M> {}
-impl<M> PartialOrd for HeapEntry<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for HeapEntry<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Ties broken by insertion order for determinism.
-        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
-    }
-}
-
 /// A simulated network of endpoints exchanging messages of type `M`.
 ///
 /// Single-threaded and pull-based: every call to [`Network::next_event`]
 /// advances virtual time to the next scheduled occurrence and returns it.
+///
+/// Events live in a [`CalendarQueue`]; same-instant events pop in schedule
+/// (FIFO) order under the queue's monotone sequence numbers — see the
+/// ordering invariant in [`crate::sched`]. For the many-core variant see
+/// [`crate::shard::ShardedNetwork`].
 pub struct Network<M, L: LatencyModel = crate::latency::UniformLatency> {
     config: NetworkConfig,
     latency: L,
     now: SimTime,
-    seq: u64,
-    heap: BinaryHeap<Reverse<HeapEntry<M>>>,
+    queue: CalendarQueue<Pending<M>>,
     nics: Vec<Nic>,
     alive: Vec<bool>,
     stats: TrafficStats,
@@ -235,8 +231,7 @@ impl<M, L: LatencyModel> Network<M, L> {
             config,
             latency,
             now: SimTime::ZERO,
-            seq: 0,
-            heap: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
             nics: Vec::new(),
             alive: Vec::new(),
             stats: TrafficStats::default(),
@@ -483,52 +478,72 @@ impl<M, L: LatencyModel> Network<M, L> {
 
     /// Schedule a timer `after` from now carrying `token`.
     pub fn set_timer(&mut self, after: SimDuration, token: TimerToken) -> SimTime {
+        self.arm_timer(after, token).fires_at()
+    }
+
+    /// [`Network::set_timer`], returning a handle that can later cancel the
+    /// timer ([`Network::cancel_timer`]) — the cheap way to retire watchdog
+    /// timers whose transfer already completed, instead of letting them
+    /// fire and filtering stale tokens at delivery.
+    pub fn arm_timer(&mut self, after: SimDuration, token: TimerToken) -> TimerHandle {
         let at = self.now + after;
-        self.push(
+        let inner = self.queue.push(
             at,
             Pending::Timer {
                 token,
                 scheduled: at,
             },
         );
-        at
+        TimerHandle { inner, at }
+    }
+
+    /// Remove a pending timer before it fires. Returns whether the timer
+    /// was still pending (a handle whose timer already fired or was
+    /// cancelled reports `false`).
+    pub fn cancel_timer(&mut self, handle: TimerHandle) -> bool {
+        self.queue.cancel(handle.inner).is_some()
     }
 
     fn push(&mut self, at: SimTime, pending: Pending<M>) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Reverse(HeapEntry { at, seq, pending }));
+        self.queue.push(at, pending);
     }
 
     /// The time of the next scheduled occurrence, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(e)| e.at)
+        self.queue.peek().map(|k| k.at)
+    }
+
+    /// Pending occurrences (messages in flight, armed timers, scheduled
+    /// faults).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
     }
 
     /// Advance to and return the next event. Messages whose destination has
     /// died in the meantime are dropped transparently (time still advances
     /// past them). Returns `None` when the simulation has quiesced.
     pub fn next_event(&mut self) -> Option<Event<M>> {
-        while let Some(Reverse(entry)) = self.heap.pop() {
-            debug_assert!(entry.at >= self.now, "time must be monotone");
-            self.now = entry.at;
-            match entry.pending {
+        while let Some((key, pending)) = self.queue.pop() {
+            let entry_at = key.at;
+            debug_assert!(entry_at >= self.now, "time must be monotone");
+            self.now = entry_at;
+            match pending {
                 Pending::Timer { token, scheduled } => {
                     // In virtual time the lag is zero by construction; the
                     // histogram pins that invariant and counts fires, and
                     // any nonzero drift is journaled loudly.
-                    let lag = (entry.at - scheduled).as_micros();
+                    let lag = (entry_at - scheduled).as_micros();
                     self.instruments.timer_lag_us.record(lag);
                     if lag != 0 {
                         self.instruments.registry.emit(
-                            entry.at.as_micros(),
+                            entry_at.as_micros(),
                             "netsim.timer_drift",
                             format!("token {} fired {lag}us late", token.0),
                         );
                     }
                     return Some(Event::Timer {
                         token,
-                        at: entry.at,
+                        at: entry_at,
                     });
                 }
                 Pending::Message {
@@ -542,7 +557,7 @@ impl<M, L: LatencyModel> Network<M, L> {
                         self.stats.messages_dropped += 1;
                         self.instruments.dropped.inc();
                         self.instruments.registry.emit(
-                            entry.at.as_micros(),
+                            entry_at.as_micros(),
                             "netsim.drop",
                             format!("dead receiver {}", dst.index()),
                         );
@@ -560,7 +575,7 @@ impl<M, L: LatencyModel> Network<M, L> {
                         self.stats.messages_dropped += 1;
                         self.instruments.fault_partition_drops.inc();
                         self.instruments.registry.emit(
-                            entry.at.as_micros(),
+                            entry_at.as_micros(),
                             "netsim.fault.partition_drop",
                             format!(
                                 "{} -> {} severed by {cut} at arrival",
@@ -576,7 +591,7 @@ impl<M, L: LatencyModel> Network<M, L> {
                         dst,
                         bytes,
                         sent_at,
-                        delivered_at: entry.at,
+                        delivered_at: entry_at,
                         payload,
                     }));
                 }
@@ -590,7 +605,7 @@ impl<M, L: LatencyModel> Network<M, L> {
                             self.nics[endpoint.index()].reset(self.now);
                             self.instruments.fault_crashes.inc();
                             self.instruments.registry.emit(
-                                entry.at.as_micros(),
+                                entry_at.as_micros(),
                                 "netsim.fault.crash",
                                 format!("endpoint {}", endpoint.index()),
                             );
@@ -599,7 +614,7 @@ impl<M, L: LatencyModel> Network<M, L> {
                             self.alive[endpoint.index()] = true;
                             self.instruments.fault_restarts.inc();
                             self.instruments.registry.emit(
-                                entry.at.as_micros(),
+                                entry_at.as_micros(),
                                 "netsim.fault.restart",
                                 format!("endpoint {}", endpoint.index()),
                             );
@@ -632,7 +647,15 @@ impl<M, L: LatencyModel> Network<M, L> {
     ) -> Result<u64, Livelock> {
         let mut processed = 0u64;
         while let Some(ev) = self.next_event() {
-            if processed >= max_events {
+            // Every popped event is handed to `f` — including the one that
+            // exhausts the budget. Aborting *before* the callback would
+            // silently discard a popped event and leave the network
+            // inconsistent for callers that inspect or resume after a
+            // livelock; instead the budget check runs after, and remaining
+            // work stays queued.
+            processed += 1;
+            f(self, ev);
+            if processed >= max_events && self.queue.peek().is_some() {
                 self.instruments.registry.emit(
                     self.now.as_micros(),
                     "netsim.livelock",
@@ -642,8 +665,6 @@ impl<M, L: LatencyModel> Network<M, L> {
                     events_processed: processed,
                 });
             }
-            processed += 1;
-            f(self, ev);
         }
         Ok(processed)
     }
@@ -1063,6 +1084,65 @@ mod tests {
         let b = quiet.add_endpoint();
         quiet.send(a, b, 10, 1);
         assert_eq!(quiet.run_until_quiet_bounded(100, |_, _| {}), Ok(1));
+    }
+
+    #[test]
+    fn livelock_loses_no_events() {
+        // Regression: the budget-exceeding event used to be popped and
+        // discarded on the Err path. Every scheduled timer must reach the
+        // callback exactly once — across the Livelock boundary.
+        let mut n = net();
+        for i in 0..10u64 {
+            n.set_timer(SimDuration::from_millis(i + 1), TimerToken(i));
+        }
+        let mut seen = Vec::new();
+        let err = n
+            .run_until_quiet_bounded(4, |_, ev| {
+                if let Event::Timer { token, .. } = ev {
+                    seen.push(token.0);
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err.events_processed, 4);
+        assert_eq!(seen, vec![0, 1, 2, 3], "budgeted events all reached f");
+        assert_eq!(n.pending_events(), 6, "the rest stay queued, none lost");
+        // Resuming the drain picks up exactly where the budget ran out.
+        assert_eq!(
+            n.run_until_quiet_bounded(100, |_, ev| {
+                if let Event::Timer { token, .. } = ev {
+                    seen.push(token.0);
+                }
+            }),
+            Ok(6)
+        );
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn exact_budget_with_quiescence_is_not_a_livelock() {
+        // Spending the whole budget is fine if nothing remains afterwards.
+        let mut n = net();
+        n.set_timer(SimDuration::from_millis(1), TimerToken(0));
+        n.set_timer(SimDuration::from_millis(2), TimerToken(1));
+        assert_eq!(n.run_until_quiet_bounded(2, |_, _| {}), Ok(2));
+    }
+
+    #[test]
+    fn cancelled_timers_never_fire() {
+        let mut n = net();
+        let h1 = n.arm_timer(SimDuration::from_millis(1), TimerToken(1));
+        let h2 = n.arm_timer(SimDuration::from_millis(2), TimerToken(2));
+        assert_eq!(h1.fires_at(), SimTime::from_micros(1_000));
+        assert!(n.cancel_timer(h1));
+        assert!(!n.cancel_timer(h1), "second cancel reports stale");
+        let mut fired = Vec::new();
+        n.run_until_quiet(|_, ev| {
+            if let Event::Timer { token, .. } = ev {
+                fired.push(token.0);
+            }
+        });
+        assert_eq!(fired, vec![2], "only the un-cancelled timer fires");
+        assert!(!n.cancel_timer(h2), "cancel after fire reports stale");
     }
 
     #[test]

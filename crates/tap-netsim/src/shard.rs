@@ -1,0 +1,909 @@
+//! The region-sharded event loop: one trial over many cores,
+//! deterministically.
+//!
+//! # Protocol
+//!
+//! [`ShardedNetwork`] splits the endpoint space into `S` contiguous ranges
+//! ("regions"); each shard owns its range's NICs, liveness flags, and a
+//! private [`CalendarQueue`]. The simulation advances in **epoch windows**
+//! using conservative (lookahead-based) synchronization:
+//!
+//! 1. *Window.* All shards agree on `t0` = the global minimum pending
+//!    timestamp, and each processes its own events in `[t0, t0 + Δ)`,
+//!    where `Δ` is the lookahead. Local sends go straight into the local
+//!    queue; cross-shard sends are appended to a per-`(src-shard,
+//!    dst-shard)` outbox.
+//! 2. *Exchange.* After a barrier, every shard drains the outboxes
+//!    addressed to it (in source-shard order) into its queue, and the next
+//!    window begins.
+//!
+//! This is causally safe when `Δ ≤` the minimum cross-shard link delay
+//! ([`crate::latency::LatencyModel::min_delay`]): a message sent at
+//! `τ ∈ [t0, t0+Δ)` arrives no earlier than `τ + Δ ≥ t0 + Δ`, i.e. always
+//! in a *later* window than the one its receiver is currently processing —
+//! so no shard can receive an event for a time it has already passed. With
+//! the paper's `U[1 ms, 230 ms]` latencies, `Δ = 1 ms`.
+//!
+//! # Determinism across shard counts and thread counts
+//!
+//! Within a queue, same-instant events pop in sequence-number order
+//! ([`crate::sched`]). A global push counter would encode *scheduling*
+//! order, which differs across shardings — so the sharded loop instead
+//! stamps every event with a **content-derived key**: `src_endpoint_index
+//! << 32 | per-endpoint occurrence counter` (timers count against their
+//! owner). Each endpoint's stamp stream depends only on that endpoint's
+//! own deterministic processing order, never on which shard or thread
+//! hosts it; therefore the set of (timestamp, stamp, event) triples — and
+//! each shard's pop order — is a pure function of the workload and seed.
+//! Thread assignment only decides *who* executes a shard's window, not
+//! what is in it: barriers separate the process and exchange phases, and
+//! outboxes are drained in fixed source-shard order. Randomness must stay
+//! on the counter-stream discipline (pure functions of `(seed, index)`,
+//! as in [`crate::fault::FaultPlan`]) — nothing in this module draws from
+//! shared mutable RNG state.
+//!
+//! Worker threads are persistent for the whole run (spawned once via
+//! `std::thread::scope`), with shards statically chunked across them; the
+//! per-epoch global minimum is computed from per-shard atomics published
+//! at the end of each exchange phase.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use tap_metrics::{Counter, Histogram, Registry};
+
+use crate::bandwidth::Nic;
+use crate::latency::LatencyModel;
+use crate::network::{
+    DeliveredMessage, EndpointId, Event, NetworkConfig, TimerToken, TrafficStats,
+};
+use crate::sched::CalendarQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// Contiguous endpoint ranges: the first `total % shards` shards take one
+/// extra endpoint.
+struct Topology {
+    total: usize,
+    ranges: Vec<Range<usize>>,
+    base: usize,
+    rem: usize,
+}
+
+impl Topology {
+    fn new(total: usize, shards: usize) -> Self {
+        let base = total / shards;
+        let rem = total % shards;
+        let mut ranges = Vec::with_capacity(shards);
+        let mut start = 0;
+        for i in 0..shards {
+            let width = base + usize::from(i < rem);
+            ranges.push(start..start + width);
+            start += width;
+        }
+        debug_assert_eq!(start, total);
+        Topology {
+            total,
+            ranges,
+            base,
+            rem,
+        }
+    }
+
+    /// The shard owning endpoint `idx` — O(1) arithmetic, no search.
+    fn shard_of(&self, idx: usize) -> usize {
+        debug_assert!(idx < self.total, "endpoint {idx} out of range");
+        let fat = self.rem * (self.base + 1);
+        if idx < fat {
+            idx / (self.base + 1)
+        } else {
+            self.rem + (idx - fat) / self.base
+        }
+    }
+}
+
+/// An event staged in a shard-local queue.
+enum Job<M> {
+    Deliver {
+        src: EndpointId,
+        dst: EndpointId,
+        bytes: u64,
+        sent_at: SimTime,
+        payload: M,
+    },
+    Timer {
+        token: TimerToken,
+    },
+}
+
+/// A cross-shard message in an outbox, carrying its canonical stamp.
+struct Wire<M> {
+    at: SimTime,
+    stamp: u64,
+    src: EndpointId,
+    dst: EndpointId,
+    bytes: u64,
+    sent_at: SimTime,
+    payload: M,
+}
+
+/// One region: its endpoints' state plus a private event queue and
+/// metrics registry (folded together after the run, in shard order).
+struct Shard<M> {
+    range: Range<usize>,
+    queue: CalendarQueue<Job<M>>,
+    nics: Vec<Nic>,
+    alive: Vec<bool>,
+    /// Per-local-endpoint occurrence counters feeding the canonical
+    /// stamps; must stay below 2^32 (they share a u64 with the endpoint
+    /// index).
+    counters: Vec<u64>,
+    now: SimTime,
+    stats: TrafficStats,
+    events: u64,
+    registry: Registry,
+    delivered_ctr: std::sync::Arc<Counter>,
+    dropped_ctr: std::sync::Arc<Counter>,
+    queue_delay_us: std::sync::Arc<Histogram>,
+    propagation_us: std::sync::Arc<Histogram>,
+}
+
+impl<M> Shard<M> {
+    fn new(range: Range<usize>, config: &NetworkConfig) -> Self {
+        let width = range.len();
+        let registry = Registry::new();
+        Shard {
+            range,
+            queue: CalendarQueue::new(),
+            nics: (0..width).map(|_| Nic::new(config.bandwidth_bps)).collect(),
+            alive: vec![true; width],
+            counters: vec![0; width],
+            now: SimTime::ZERO,
+            stats: TrafficStats::default(),
+            events: 0,
+            delivered_ctr: registry.counter("netsim.shard.delivered"),
+            dropped_ctr: registry.counter("netsim.shard.dropped"),
+            queue_delay_us: registry.histogram("netsim.queue_delay_us"),
+            propagation_us: registry.histogram("netsim.propagation_us"),
+            registry,
+        }
+    }
+
+    /// Mint the canonical stamp for the next occurrence charged to the
+    /// local endpoint `global_idx`.
+    fn stamp(&mut self, global_idx: usize) -> u64 {
+        let local = global_idx - self.range.start;
+        let c = &mut self.counters[local];
+        debug_assert!(*c < u64::from(u32::MAX), "per-endpoint stamp overflow");
+        let s = ((global_idx as u64) << 32) | *c;
+        *c += 1;
+        s
+    }
+}
+
+/// The per-shard view handed to event handlers: all interaction with the
+/// simulation during [`ShardedNetwork::run`] goes through it.
+pub struct ShardCtx<'a, M, L: LatencyModel> {
+    shard: &'a mut Shard<M>,
+    shard_index: usize,
+    outbox: &'a [Mutex<Vec<Wire<M>>>],
+    topo: &'a Topology,
+    config: &'a NetworkConfig,
+    latency: &'a L,
+}
+
+impl<'a, M, L: LatencyModel> ShardCtx<'a, M, L> {
+    /// This shard's current virtual time (the timestamp of the event being
+    /// handled).
+    pub fn now(&self) -> SimTime {
+        self.shard.now
+    }
+
+    /// Index of the shard this context belongs to.
+    pub fn shard_index(&self) -> usize {
+        self.shard_index
+    }
+
+    /// The contiguous endpoint range this shard owns.
+    pub fn endpoints(&self) -> Range<usize> {
+        self.shard.range.clone()
+    }
+
+    /// The shard-private metrics registry (folded across shards after the
+    /// run via [`ShardedNetwork::fold_metrics`]).
+    pub fn registry(&self) -> &Registry {
+        &self.shard.registry
+    }
+
+    /// Liveness of a *local* endpoint.
+    pub fn is_alive(&self, id: EndpointId) -> bool {
+        let idx = id.index();
+        assert!(
+            self.shard.range.contains(&idx),
+            "liveness of non-local endpoint {idx} queried on shard {}",
+            self.shard_index
+        );
+        self.shard.alive[idx - self.shard.range.start]
+    }
+
+    /// Queue `payload` from the local endpoint `src` to any endpoint
+    /// `dst`; semantics match [`crate::Network::send`] (FIFO uplink
+    /// serialization + propagation + processing delay; `None` from a dead
+    /// sender; receiver liveness checked at delivery).
+    pub fn send(
+        &mut self,
+        src: EndpointId,
+        dst: EndpointId,
+        bytes: u64,
+        payload: M,
+    ) -> Option<SimTime> {
+        let si = src.index();
+        assert!(
+            self.shard.range.contains(&si),
+            "send from non-local endpoint {si} on shard {}",
+            self.shard_index
+        );
+        let local = si - self.shard.range.start;
+        if !self.shard.alive[local] {
+            self.shard.stats.messages_dropped += 1;
+            self.shard.dropped_ctr.inc();
+            return None;
+        }
+        self.shard.stats.messages_sent += 1;
+        self.shard.stats.bytes_sent += bytes;
+        let now = self.shard.now;
+        let tx_done = self.shard.nics[local].transmit(now, bytes);
+        let propagation = self.latency.delay(src, dst);
+        self.shard
+            .queue_delay_us
+            .record((tx_done - now).as_micros());
+        self.shard.propagation_us.record(propagation.as_micros());
+        let arrive = tx_done + propagation + self.config.processing_delay;
+        let stamp = self.shard.stamp(si);
+        let dst_shard = self.topo.shard_of(dst.index());
+        if dst_shard == self.shard_index {
+            self.shard.queue.push_keyed(
+                arrive,
+                stamp,
+                Job::Deliver {
+                    src,
+                    dst,
+                    bytes,
+                    sent_at: now,
+                    payload,
+                },
+            );
+        } else {
+            self.outbox[dst_shard]
+                .lock()
+                .expect("outbox poisoned")
+                .push(Wire {
+                    at: arrive,
+                    stamp,
+                    src,
+                    dst,
+                    bytes,
+                    sent_at: now,
+                    payload,
+                });
+        }
+        Some(arrive)
+    }
+
+    /// Schedule a timer on the local endpoint `owner`, `after` from now.
+    pub fn set_timer(
+        &mut self,
+        owner: EndpointId,
+        after: SimDuration,
+        token: TimerToken,
+    ) -> SimTime {
+        let oi = owner.index();
+        assert!(
+            self.shard.range.contains(&oi),
+            "timer on non-local endpoint {oi} on shard {}",
+            self.shard_index
+        );
+        let at = self.shard.now + after;
+        let stamp = self.shard.stamp(oi);
+        self.shard.queue.push_keyed(at, stamp, Job::Timer { token });
+        at
+    }
+
+    /// Process every queued event strictly before `end`.
+    fn process_window<F>(&mut self, end: SimTime, h: &mut F)
+    where
+        F: FnMut(&mut ShardCtx<'_, M, L>, Event<M>),
+    {
+        while self.shard.queue.peek().is_some_and(|k| k.at < end) {
+            let (key, job) = self.shard.queue.pop().expect("peeked event present");
+            debug_assert!(key.at >= self.shard.now, "shard time must be monotone");
+            self.shard.now = key.at;
+            match job {
+                Job::Timer { token } => {
+                    self.shard.events += 1;
+                    h(self, Event::Timer { token, at: key.at });
+                }
+                Job::Deliver {
+                    src,
+                    dst,
+                    bytes,
+                    sent_at,
+                    payload,
+                } => {
+                    let local = dst.index() - self.shard.range.start;
+                    if !self.shard.alive[local] {
+                        self.shard.stats.messages_dropped += 1;
+                        self.shard.dropped_ctr.inc();
+                        continue;
+                    }
+                    self.shard.stats.messages_delivered += 1;
+                    self.shard.delivered_ctr.inc();
+                    self.shard.events += 1;
+                    h(
+                        self,
+                        Event::Message(DeliveredMessage {
+                            src,
+                            dst,
+                            bytes,
+                            sent_at,
+                            delivered_at: key.at,
+                            payload,
+                        }),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A deterministic, region-sharded network simulation — the many-core
+/// counterpart of [`crate::Network`]. See the module docs for the epoch
+/// protocol and the determinism argument.
+pub struct ShardedNetwork<M, L: LatencyModel = crate::latency::UniformLatency> {
+    config: NetworkConfig,
+    latency: L,
+    topo: Topology,
+    lookahead: SimDuration,
+    shards: Vec<Shard<M>>,
+    /// `links[src_shard][dst_shard]`: the ordered cross-shard outboxes.
+    /// Locking is phase-disciplined — written only by `src_shard` during
+    /// process phases, drained only by `dst_shard` during exchange phases,
+    /// with barriers between — so the mutexes are never contended.
+    links: Vec<Vec<Mutex<Vec<Wire<M>>>>>,
+}
+
+impl<M, L: LatencyModel> ShardedNetwork<M, L> {
+    /// Build a network of `endpoints` endpoints over `shards` regions.
+    ///
+    /// `shards` is clamped to `[1, endpoints]`. The lookahead window is
+    /// taken from `latency.min_delay()`, which must be positive when
+    /// `shards > 1` (a zero lower bound admits no conservative window).
+    pub fn new(config: NetworkConfig, mut latency: L, endpoints: usize, shards: usize) -> Self {
+        assert!(
+            endpoints > 0,
+            "a sharded network needs at least one endpoint"
+        );
+        let shards = shards.clamp(1, endpoints);
+        let lookahead = latency.min_delay();
+        assert!(
+            shards == 1 || lookahead > SimDuration::ZERO,
+            "sharding needs a positive latency floor (LatencyModel::min_delay) for its lookahead"
+        );
+        for i in 0..endpoints {
+            let id = EndpointId::from_index(i).expect("endpoint index fits u32");
+            latency.on_endpoint_added(id);
+        }
+        let topo = Topology::new(endpoints, shards);
+        let shard_vec: Vec<Shard<M>> = topo
+            .ranges
+            .iter()
+            .map(|r| Shard::new(r.clone(), &config))
+            .collect();
+        let links = (0..shards)
+            .map(|_| (0..shards).map(|_| Mutex::new(Vec::new())).collect())
+            .collect();
+        ShardedNetwork {
+            config,
+            latency,
+            topo,
+            lookahead: if shards == 1 {
+                // One shard needs no causal window; use a coarse slab so
+                // the sequential path still batches queue work.
+                lookahead.max(SimDuration::from_millis(1))
+            } else {
+                lookahead
+            },
+            shards: shard_vec,
+            links,
+        }
+    }
+
+    /// Number of endpoints.
+    pub fn endpoint_count(&self) -> usize {
+        self.topo.total
+    }
+
+    /// Number of shards (after clamping).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The conservative epoch window width.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// The propagation delay the latency model assigns to `(a, b)`.
+    pub fn link_delay(&self, a: EndpointId, b: EndpointId) -> SimDuration {
+        self.latency.delay(a, b)
+    }
+
+    fn shard_of_mut(&mut self, id: EndpointId) -> &mut Shard<M> {
+        let s = self.topo.shard_of(id.index());
+        &mut self.shards[s]
+    }
+
+    /// Kill an endpoint before (or between) runs: fail-stop, as in
+    /// [`crate::Network::kill`].
+    pub fn kill(&mut self, id: EndpointId) {
+        let local = id.index() - self.shard_of_mut(id).range.start;
+        let now = self.shard_of_mut(id).now;
+        let shard = self.shard_of_mut(id);
+        shard.alive[local] = false;
+        shard.nics[local].reset(now);
+    }
+
+    /// Revive a previously killed endpoint.
+    pub fn revive(&mut self, id: EndpointId) {
+        let local = id.index() - self.shard_of_mut(id).range.start;
+        self.shard_of_mut(id).alive[local] = true;
+    }
+
+    /// Seed the simulation: schedule a timer on `owner` at absolute time
+    /// `at`. The workload's initial events enter this way; handler-driven
+    /// timers use [`ShardCtx::set_timer`].
+    pub fn schedule_timer_at(&mut self, owner: EndpointId, at: SimTime, token: TimerToken) {
+        let shard = self.shard_of_mut(owner);
+        assert!(at >= shard.now, "cannot schedule into the past");
+        let stamp = shard.stamp(owner.index());
+        shard.queue.push_keyed(at, stamp, Job::Timer { token });
+    }
+
+    /// Aggregate traffic counters across shards.
+    pub fn stats(&self) -> TrafficStats {
+        let mut total = TrafficStats::default();
+        for s in &self.shards {
+            total.messages_sent += s.stats.messages_sent;
+            total.messages_delivered += s.stats.messages_delivered;
+            total.messages_dropped += s.stats.messages_dropped;
+            total.bytes_sent += s.stats.bytes_sent;
+        }
+        total
+    }
+
+    /// Fold every shard's private registry into `into`, in shard order —
+    /// counters add and histogram buckets add, so the result is identical
+    /// at any shard/thread count.
+    pub fn fold_metrics(&self, into: &Registry) {
+        for s in &self.shards {
+            into.merge(&s.registry);
+        }
+    }
+
+    /// Drive the simulation to quiescence on up to `threads` worker
+    /// threads (clamped to the shard count; `1` runs inline with no
+    /// thread or barrier overhead). `handler_for(i)` builds shard `i`'s
+    /// event handler; each handler observes only its own shard's events,
+    /// in deterministic order. Returns the number of events handed to
+    /// handlers.
+    pub fn run<F>(&mut self, threads: usize, mut handler_for: impl FnMut(usize) -> F) -> u64
+    where
+        M: Send,
+        L: Sync,
+        F: FnMut(&mut ShardCtx<'_, M, L>, Event<M>) + Send,
+    {
+        let n = self.shards.len();
+        let mut handlers: Vec<F> = (0..n).map(&mut handler_for).collect();
+        let workers = threads.clamp(1, n);
+        if workers == 1 {
+            self.run_sequential(&mut handlers)
+        } else {
+            self.run_parallel(workers, &mut handlers)
+        }
+    }
+
+    fn run_sequential<F>(&mut self, handlers: &mut [F]) -> u64
+    where
+        F: FnMut(&mut ShardCtx<'_, M, L>, Event<M>),
+    {
+        let n = self.shards.len();
+        loop {
+            let t0 = self
+                .shards
+                .iter()
+                .filter_map(|s| s.queue.peek())
+                .map(|k| k.at)
+                .min();
+            let Some(t0) = t0 else { break };
+            let end = t0 + self.lookahead;
+            for (i, (shard, h)) in self.shards.iter_mut().zip(handlers.iter_mut()).enumerate() {
+                let mut ctx = ShardCtx {
+                    shard,
+                    shard_index: i,
+                    outbox: &self.links[i],
+                    topo: &self.topo,
+                    config: &self.config,
+                    latency: &self.latency,
+                };
+                ctx.process_window(end, h);
+            }
+            for dst in 0..n {
+                for src in 0..n {
+                    if src == dst {
+                        continue;
+                    }
+                    let mut inbox = self.links[src][dst].lock().expect("outbox poisoned");
+                    for w in inbox.drain(..) {
+                        debug_assert!(
+                            w.at >= end,
+                            "lookahead exceeds the true minimum cross-shard delay"
+                        );
+                        self.shards[dst].queue.push_keyed(
+                            w.at,
+                            w.stamp,
+                            Job::Deliver {
+                                src: w.src,
+                                dst: w.dst,
+                                bytes: w.bytes,
+                                sent_at: w.sent_at,
+                                payload: w.payload,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        self.shards.iter().map(|s| s.events).sum()
+    }
+
+    fn run_parallel<F>(&mut self, workers: usize, handlers: &mut [F]) -> u64
+    where
+        M: Send,
+        L: Sync,
+        F: FnMut(&mut ShardCtx<'_, M, L>, Event<M>) + Send,
+    {
+        let n = self.shards.len();
+        // ceil-sized chunks can cover all shards in fewer than `workers`
+        // pieces (6 shards / 4 workers -> 3 chunks of 2); the barrier must
+        // match the number of threads actually spawned.
+        let chunk = n.div_ceil(workers);
+        let spawned = n.div_ceil(chunk);
+        let barrier = Barrier::new(spawned);
+        let next_at: Vec<AtomicU64> = self
+            .shards
+            .iter()
+            .map(|s| AtomicU64::new(s.queue.peek().map_or(u64::MAX, |k| k.at.as_micros())))
+            .collect();
+        let links = &self.links;
+        let topo = &self.topo;
+        let config = &self.config;
+        let latency = &self.latency;
+        let lookahead = self.lookahead;
+        // Pair every shard with its handler, then statically chunk the
+        // pairs across workers — threads are spawned once for the whole
+        // run, not per epoch.
+        let mut pairs: Vec<(usize, &mut Shard<M>, &mut F)> = self
+            .shards
+            .iter_mut()
+            .zip(handlers.iter_mut())
+            .enumerate()
+            .map(|(i, (s, h))| (i, s, h))
+            .collect();
+        std::thread::scope(|scope| {
+            let barrier = &barrier;
+            let next_at = &next_at;
+            for my in pairs.chunks_mut(chunk) {
+                scope.spawn(move || {
+                    loop {
+                        // All shards' `next_at` publications (and outbox
+                        // drains) from the previous epoch complete before
+                        // this barrier releases; the min every worker then
+                        // computes is identical.
+                        barrier.wait();
+                        let t0 = next_at
+                            .iter()
+                            .map(|a| a.load(Ordering::Relaxed))
+                            .min()
+                            .unwrap_or(u64::MAX);
+                        if t0 == u64::MAX {
+                            break;
+                        }
+                        let end = SimTime::from_micros(t0) + lookahead;
+                        for (i, shard, h) in my.iter_mut() {
+                            let mut ctx = ShardCtx {
+                                shard,
+                                shard_index: *i,
+                                outbox: &links[*i],
+                                topo,
+                                config,
+                                latency,
+                            };
+                            ctx.process_window(end, h);
+                        }
+                        // Every outbox write lands before any drain starts.
+                        barrier.wait();
+                        for (i, shard, _) in my.iter_mut() {
+                            for (src, row) in links.iter().enumerate() {
+                                if src == *i {
+                                    continue;
+                                }
+                                let mut inbox = row[*i].lock().expect("outbox poisoned");
+                                for w in inbox.drain(..) {
+                                    debug_assert!(
+                                        w.at >= end,
+                                        "lookahead exceeds the true minimum cross-shard delay"
+                                    );
+                                    shard.queue.push_keyed(
+                                        w.at,
+                                        w.stamp,
+                                        Job::Deliver {
+                                            src: w.src,
+                                            dst: w.dst,
+                                            bytes: w.bytes,
+                                            sent_at: w.sent_at,
+                                            payload: w.payload,
+                                        },
+                                    );
+                                }
+                            }
+                            next_at[*i].store(
+                                shard.queue.peek().map_or(u64::MAX, |k| k.at.as_micros()),
+                                Ordering::Relaxed,
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        self.shards.iter().map(|s| s.events).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::UniformLatency;
+    use crate::Network;
+    use std::sync::Arc;
+
+    /// One delivery observed by the relay workload: (delivered_at, src,
+    /// dst, payload), sorted after the run to erase thread interleaving.
+    type DeliveryLog = Vec<(u64, usize, usize, u64)>;
+
+    /// A deterministic relay workload: timers launch transfers, receivers
+    /// forward a bounded number of hops. Pure function of (seed, index).
+    fn relay_handler(
+        total: usize,
+        log: Arc<Mutex<DeliveryLog>>,
+    ) -> impl FnMut(&mut ShardCtx<'_, u64, UniformLatency>, Event<u64>) + Send {
+        move |ctx, ev| match ev {
+            Event::Timer { token, .. } => {
+                let i = token.0 as usize;
+                let src = EndpointId::from_index(i % total).unwrap();
+                let dst = EndpointId::from_index((i * 7 + 3) % total).unwrap();
+                if src != dst {
+                    ctx.send(src, dst, 200 + (token.0 % 5) * 100, token.0 << 8);
+                }
+            }
+            Event::Message(m) => {
+                log.lock().unwrap().push((
+                    m.delivered_at.as_micros(),
+                    m.src.index(),
+                    m.dst.index(),
+                    m.payload,
+                ));
+                let hops = m.payload & 0xFF;
+                if hops < 2 {
+                    let next = EndpointId::from_index((m.dst.index() * 5 + 1) % total).unwrap();
+                    if next != m.dst {
+                        ctx.send(m.dst, next, m.bytes, (m.payload & !0xFF) | (hops + 1));
+                    }
+                }
+            }
+        }
+    }
+
+    fn run_relay(total: usize, shards: usize, threads: usize) -> (DeliveryLog, TrafficStats, u64) {
+        let mut net: ShardedNetwork<u64, UniformLatency> = ShardedNetwork::new(
+            NetworkConfig::paper_defaults(),
+            UniformLatency::paper(42),
+            total,
+            shards,
+        );
+        for i in 0..(total * 2) as u64 {
+            let owner = EndpointId::from_index(i as usize % total).unwrap();
+            net.schedule_timer_at(owner, SimTime::from_micros((i % 7) * 500), TimerToken(i));
+        }
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let events = net.run(threads, |_| relay_handler(total, log.clone()));
+        let mut entries = Arc::try_unwrap(log).unwrap().into_inner().unwrap();
+        entries.sort_unstable();
+        (entries, net.stats(), events)
+    }
+
+    #[test]
+    fn single_shard_matches_unsharded_network() {
+        // The same two-message workload through Network and through a
+        // one-shard ShardedNetwork must produce identical delivery times.
+        let mut plain: Network<u64, UniformLatency> =
+            Network::new(NetworkConfig::paper_defaults(), UniformLatency::paper(7));
+        let a = plain.add_endpoint();
+        let b = plain.add_endpoint();
+        let c = plain.add_endpoint();
+        plain.send(a, b, 1_500, 1);
+        plain.send(a, c, 3_000, 2);
+        let mut plain_deliveries = Vec::new();
+        plain.run_until_quiet(|_, ev| {
+            if let Event::Message(m) = ev {
+                plain_deliveries.push((m.delivered_at, m.dst, m.payload));
+            }
+        });
+
+        let mut sharded: ShardedNetwork<u64, UniformLatency> = ShardedNetwork::new(
+            NetworkConfig::paper_defaults(),
+            UniformLatency::paper(7),
+            3,
+            1,
+        );
+        sharded.schedule_timer_at(a, SimTime::ZERO, TimerToken(0));
+        let deliveries = Arc::new(Mutex::new(Vec::new()));
+        let sink = deliveries.clone();
+        sharded.run(1, move |_| {
+            let sink = sink.clone();
+            move |ctx: &mut ShardCtx<'_, u64, UniformLatency>, ev: Event<u64>| match ev {
+                Event::Timer { .. } => {
+                    ctx.send(a, b, 1_500, 1);
+                    ctx.send(a, c, 3_000, 2);
+                }
+                Event::Message(m) => {
+                    sink.lock()
+                        .unwrap()
+                        .push((m.delivered_at, m.dst, m.payload));
+                }
+            }
+        });
+        let got = deliveries.lock().unwrap().clone();
+        assert_eq!(got, plain_deliveries, "same NIC + latency arithmetic");
+    }
+
+    #[test]
+    fn cross_shard_delivery_matches_link_arithmetic() {
+        let mut net: ShardedNetwork<u64, UniformLatency> = ShardedNetwork::new(
+            NetworkConfig::paper_defaults(),
+            UniformLatency::paper(3),
+            10,
+            5,
+        );
+        let src = EndpointId::from_index(0).unwrap();
+        let dst = EndpointId::from_index(9).unwrap(); // different shard
+        let expect = SimTime::ZERO
+            + SimDuration::from_micros(1_500 * 8 * 1_000_000 / 1_500_000)
+            + net.link_delay(src, dst);
+        net.schedule_timer_at(src, SimTime::ZERO, TimerToken(0));
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        net.run(1, move |_| {
+            let sink = sink.clone();
+            move |ctx: &mut ShardCtx<'_, u64, UniformLatency>, ev: Event<u64>| match ev {
+                Event::Timer { .. } => {
+                    let at = ctx.send(src, dst, 1_500, 77).unwrap();
+                    sink.lock().unwrap().push(("sent", at));
+                }
+                Event::Message(m) => {
+                    sink.lock().unwrap().push(("got", m.delivered_at));
+                }
+            }
+        });
+        let log = seen.lock().unwrap().clone();
+        assert_eq!(log, vec![("sent", expect), ("got", expect)]);
+    }
+
+    #[test]
+    fn event_order_is_invariant_across_shard_counts() {
+        let baseline = run_relay(24, 1, 1);
+        for shards in [2, 3, 8, 24] {
+            let got = run_relay(24, shards, 1);
+            assert_eq!(got, baseline, "shards={shards} diverged from 1 shard");
+        }
+    }
+
+    #[test]
+    fn event_order_is_invariant_across_thread_counts() {
+        let baseline = run_relay(24, 6, 1);
+        for threads in [2, 3, 6, 16] {
+            let got = run_relay(24, 6, threads);
+            assert_eq!(got, baseline, "threads={threads} diverged from 1 thread");
+        }
+    }
+
+    #[test]
+    fn dead_endpoints_drop_at_delivery() {
+        let mut net: ShardedNetwork<u64, UniformLatency> = ShardedNetwork::new(
+            NetworkConfig::latency_only(),
+            UniformLatency::paper(5),
+            6,
+            3,
+        );
+        let src = EndpointId::from_index(0).unwrap();
+        let dead = EndpointId::from_index(5).unwrap();
+        net.kill(dead);
+        net.schedule_timer_at(src, SimTime::ZERO, TimerToken(0));
+        let delivered = Arc::new(Mutex::new(0u64));
+        let sink = delivered.clone();
+        net.run(1, move |_| {
+            let sink = sink.clone();
+            move |ctx: &mut ShardCtx<'_, u64, UniformLatency>, ev: Event<u64>| match ev {
+                Event::Timer { .. } => {
+                    ctx.send(src, dead, 10, 1);
+                }
+                Event::Message(_) => *sink.lock().unwrap() += 1,
+            }
+        });
+        assert_eq!(*delivered.lock().unwrap(), 0);
+        let stats = net.stats();
+        assert_eq!(stats.messages_sent, 1);
+        assert_eq!(stats.messages_dropped, 1);
+        assert_eq!(stats.messages_delivered, 0);
+    }
+
+    #[test]
+    fn metrics_fold_deterministically() {
+        let fold = |threads: usize| {
+            let mut net: ShardedNetwork<u64, UniformLatency> = ShardedNetwork::new(
+                NetworkConfig::paper_defaults(),
+                UniformLatency::paper(11),
+                12,
+                4,
+            );
+            for i in 0..24u64 {
+                net.schedule_timer_at(
+                    EndpointId::from_index(i as usize % 12).unwrap(),
+                    SimTime::from_micros(i * 100),
+                    TimerToken(i),
+                );
+            }
+            net.run(threads, |_| {
+                move |ctx: &mut ShardCtx<'_, u64, UniformLatency>, ev: Event<u64>| {
+                    if let Event::Timer { token, .. } = ev {
+                        let src = EndpointId::from_index(token.0 as usize % 12).unwrap();
+                        let dst = EndpointId::from_index((token.0 as usize + 5) % 12).unwrap();
+                        ctx.send(src, dst, 500, token.0);
+                    }
+                }
+            });
+            let folded = Registry::new();
+            net.fold_metrics(&folded);
+            folded.snapshot().to_json()
+        };
+        let one = fold(1);
+        assert_eq!(one, fold(3), "folded metrics identical across threads");
+        let snap = one;
+        assert!(snap.contains("netsim.shard.delivered"));
+    }
+
+    #[test]
+    fn shard_ranges_partition_the_endpoint_space() {
+        for (total, shards) in [(10, 3), (7, 7), (100, 8), (5, 16), (1, 1)] {
+            let topo = Topology::new(total, shards.min(total));
+            let mut covered = 0;
+            for (i, r) in topo.ranges.iter().enumerate() {
+                assert!(!r.is_empty(), "no empty shards after clamping");
+                for idx in r.clone() {
+                    assert_eq!(topo.shard_of(idx), i);
+                    covered += 1;
+                }
+            }
+            assert_eq!(covered, total);
+        }
+    }
+}

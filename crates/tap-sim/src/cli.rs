@@ -9,12 +9,13 @@
 use crate::Scale;
 
 /// The usage banner printed alongside every parse error.
-pub const USAGE: &str = "usage: tap-sim <fig2|fig3|fig4a|fig4b|fig5|fig6|secure|resilience|all> \
+pub const USAGE: &str =
+    "usage: tap-sim <fig2|fig3|fig4a|fig4b|fig5|fig6|secure|resilience|throughput|all> \
                          [--paper] [--seed N] [--nodes N] [--tunnels N] [--journal N] \
-                         [--faults PERMILLE] [--threads N] [--csv DIR]";
+                         [--faults PERMILLE] [--threads N] [--shards N] [--csv DIR]";
 
 /// The figure names the binary accepts (plus the pseudo-figure `all`).
-pub const FIGURES: [&str; 8] = [
+pub const FIGURES: [&str; 9] = [
     "fig2",
     "fig3",
     "fig4a",
@@ -23,6 +24,7 @@ pub const FIGURES: [&str; 8] = [
     "fig6",
     "secure",
     "resilience",
+    "throughput",
 ];
 
 /// A fully parsed command line.
@@ -86,6 +88,13 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                     return Err("--threads must be at least 1".into());
                 }
                 threads = Some(n);
+            }
+            "--shards" => {
+                let n: usize = parse_value("--shards", iter.next())?;
+                if n == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+                scale.shards = n;
             }
             "--csv" => {
                 csv_dir = Some(
@@ -190,6 +199,30 @@ mod tests {
         let b = parse_line("resilience --paper --faults 80").unwrap();
         assert_eq!(a, b);
         assert_eq!(a.scale.fault_permille, 80);
+    }
+
+    #[test]
+    fn shards_flag_is_validated_and_order_independent() {
+        let cli = parse_line("throughput --shards 8").unwrap();
+        assert_eq!(cli.which, "throughput");
+        assert_eq!(cli.scale.shards, 8);
+
+        assert_eq!(
+            parse_line("throughput").unwrap().scale.shards,
+            0,
+            "0 = auto"
+        );
+        assert!(parse_line("throughput --shards 0")
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse_line("throughput --shards x")
+            .unwrap_err()
+            .contains("unsigned integer"));
+
+        let a = parse_line("throughput --shards 4 --paper").unwrap();
+        let b = parse_line("throughput --paper --shards 4").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.scale.shards, 4);
     }
 
     #[test]

@@ -7,6 +7,7 @@ pub mod node_failures;
 pub mod resilience;
 pub mod secure_routing;
 pub mod sweeps;
+pub mod throughput;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -69,6 +69,12 @@ pub struct Scale {
     /// only trades wall-clock for cores. The CLI defaults it to
     /// [`std::thread::available_parallelism`]; the library default is 1.
     pub threads: usize,
+    /// Region shards for the `throughput` figure's sharded event loop
+    /// (`0`, the default, selects 8, clamped to the node count). The shard
+    /// count partitions the *event space*, not the worker pool — CSVs are
+    /// byte-identical at any value; only `min(shards, threads)` cores can
+    /// be busy at once. Set from the CLI with `--shards N`.
+    pub shards: usize,
 }
 
 impl Scale {
@@ -89,6 +95,7 @@ impl Scale {
             journal_cap: 0,
             fault_permille: 100,
             threads: 1,
+            shards: 0,
         }
     }
 
@@ -108,6 +115,7 @@ impl Scale {
             journal_cap: 0,
             fault_permille: 100,
             threads: 1,
+            shards: 0,
         }
     }
 

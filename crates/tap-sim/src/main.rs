@@ -1,9 +1,9 @@
 //! `tap-sim` — regenerate the TAP paper's figures from the command line.
 //!
 //! ```text
-//! tap-sim <fig2|fig3|fig4a|fig4b|fig5|fig6|secure|resilience|all> \
+//! tap-sim <fig2|fig3|fig4a|fig4b|fig5|fig6|secure|resilience|throughput|all> \
 //!         [--paper] [--seed N] [--nodes N] [--tunnels N] [--journal N] \
-//!         [--faults PERMILLE] [--threads N] [--csv DIR]
+//!         [--faults PERMILLE] [--threads N] [--shards N] [--csv DIR]
 //! ```
 //!
 //! Default scale is `quick` (seconds); `--paper` runs the published
@@ -19,6 +19,10 @@
 //! `--faults PERMILLE` centers the resilience sweep's injected per-link
 //! loss probability (default 100 = 10%; 0 disables fault injection). The
 //! paper figures ignore it.
+//!
+//! `--shards N` sets the `throughput` figure's region count for the
+//! sharded event loop (default 8, clamped to the node count). Like
+//! `--threads`, it never changes results — only which cores do the work.
 //!
 //! `--journal N` selects journal verbosity: each experiment's metrics
 //! registry keeps the most recent `N` events (takeovers, drops, …) and
@@ -60,6 +64,7 @@ fn main() {
         ("fig6", experiments::latency::run),
         ("secure", experiments::secure_routing::run),
         ("resilience", experiments::resilience::run),
+        ("throughput", experiments::throughput::run),
     ];
     let selected: Vec<&Job> = if parsed.which == "all" {
         jobs.iter().collect()
@@ -72,7 +77,7 @@ fn main() {
     // Peak RSS is the process high-water mark sampled after each figure:
     // monotone within a run, but comparable across runs figure-by-figure
     // because the figure order is fixed, and exact for single-figure runs.
-    let mut wall: Vec<(&str, f64, Option<u64>)> = Vec::new();
+    let mut wall: Vec<FigureRecord> = Vec::new();
     let mut io_errors = 0usize;
     for (name, job) in &selected {
         let start = Instant::now();
@@ -98,7 +103,12 @@ fn main() {
                 io_errors += 1;
             }
         }
-        wall.push((name, took.as_secs_f64(), rss_kb));
+        wall.push(FigureRecord {
+            name,
+            wall_s: took.as_secs_f64(),
+            rss_kb,
+            extras: series.bench_extras.clone(),
+        });
     }
 
     let bench_path = match &parsed.csv_dir {
@@ -142,6 +152,15 @@ fn peak_rss_kb() -> Option<u64> {
     line.split_whitespace().nth(1)?.parse().ok()
 }
 
+/// One figure's bench-record entry: wall-clock, peak RSS, and any
+/// figure-reported extras (e.g. the throughput figure's `events_per_sec`).
+struct FigureRecord {
+    name: &'static str,
+    wall_s: f64,
+    rss_kb: Option<u64>,
+    extras: Vec<(String, f64)>,
+}
+
 /// Append this run's wall-clock + peak-RSS record to the `BENCH_sim.json`
 /// trajectory (a JSON array of run records; created on first run,
 /// rewritten from scratch if unreadable or malformed).
@@ -149,21 +168,25 @@ fn append_bench_record(
     path: &str,
     scale: &Scale,
     paper: bool,
-    wall: &[(&str, f64, Option<u64>)],
+    wall: &[FigureRecord],
 ) -> Result<(), String> {
     let figures = wall
         .iter()
-        .map(|(name, secs, rss_kb)| match rss_kb {
-            Some(kb) => format!(
-                "{{\"name\":\"{name}\",\"wall_s\":{secs:.3},\"peak_rss_mb\":{:.1}}}",
-                *kb as f64 / 1024.0
-            ),
-            None => format!("{{\"name\":\"{name}\",\"wall_s\":{secs:.3}}}"),
+        .map(|fig| {
+            let mut obj = format!("{{\"name\":\"{}\",\"wall_s\":{:.3}", fig.name, fig.wall_s);
+            if let Some(kb) = fig.rss_kb {
+                obj.push_str(&format!(",\"peak_rss_mb\":{:.1}", kb as f64 / 1024.0));
+            }
+            for (key, value) in &fig.extras {
+                obj.push_str(&format!(",\"{key}\":{value:.3}"));
+            }
+            obj.push('}');
+            obj
         })
         .collect::<Vec<_>>()
         .join(",");
-    let total: f64 = wall.iter().map(|(_, s, _)| s).sum();
-    let peak = wall.iter().filter_map(|(_, _, kb)| *kb).max();
+    let total: f64 = wall.iter().map(|f| f.wall_s).sum();
+    let peak = wall.iter().filter_map(|f| f.rss_kb).max();
     let peak_field = peak
         .map(|kb| format!(",\"peak_rss_mb\":{:.1}", kb as f64 / 1024.0))
         .unwrap_or_default();

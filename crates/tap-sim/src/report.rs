@@ -31,6 +31,11 @@ pub struct Series {
     /// Structured observability: the `tap_metrics::MetricsReport` of the
     /// run that produced this series, serialized to JSON.
     pub metrics_json: Option<String>,
+    /// Wall-clock-derived performance extras (e.g. `events_per_sec`) for
+    /// the `BENCH_sim.json` record of this figure. Deliberately *not* part
+    /// of the CSV or the printed table: these values vary run to run,
+    /// while everything above is byte-reproducible.
+    pub bench_extras: Vec<(String, f64)>,
 }
 
 impl Series {
@@ -46,6 +51,7 @@ impl Series {
             columns,
             rows: Vec::new(),
             metrics_json: None,
+            bench_extras: Vec::new(),
         }
     }
 

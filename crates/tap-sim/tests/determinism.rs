@@ -3,7 +3,9 @@
 //! trials from `engine::substream_seed`, so the schedule that ran a trial
 //! must never leak into the numbers it produces.
 
-use tap_sim::experiments::{churn, collusion, latency, node_failures, secure_routing, sweeps};
+use tap_sim::experiments::{
+    churn, collusion, latency, node_failures, secure_routing, sweeps, throughput,
+};
 use tap_sim::{Scale, Series};
 
 /// Small enough to keep the whole suite in CI seconds, large enough that
@@ -32,6 +34,7 @@ fn figures() -> Vec<(&'static str, Figure)> {
         ("fig5", churn::run),
         ("fig6", latency::run),
         ("secure", secure_routing::run),
+        ("throughput", throughput::run),
     ]
 }
 
@@ -47,6 +50,32 @@ fn csvs_are_byte_identical_across_thread_counts() {
             );
         }
     }
+}
+
+#[test]
+fn throughput_csv_is_byte_identical_across_shard_counts() {
+    // The sharded event loop's own contract, on top of the thread one:
+    // region count partitions the event space without touching results.
+    let one_shard = throughput::run(&Scale {
+        shards: 1,
+        ..tiny()
+    })
+    .to_csv();
+    for shards in [2, 8] {
+        let sharded = throughput::run(&Scale { shards, ..tiny() }).to_csv();
+        assert_eq!(
+            one_shard, sharded,
+            "throughput: CSV diverged between --shards 1 and --shards {shards}"
+        );
+    }
+    // And the combination: many shards driven by many threads.
+    let combined = throughput::run(&Scale {
+        shards: 8,
+        threads: 4,
+        ..tiny()
+    })
+    .to_csv();
+    assert_eq!(one_shard, combined);
 }
 
 #[test]

@@ -8,7 +8,9 @@ appends a record); the fresh file is produced by the CI run under test.
 The gate fails when any figure of the fresh run's *last* record is more
 than REGRESSION_FACTOR slower — or more than MEMORY_FACTOR heavier in
 peak RSS — than the best committed record with the same configuration
-(preset, nodes, tunnels, seed, threads). Figures with no comparable
+(preset, nodes, tunnels, seed, threads). Rate-style fields run the other
+direction: a figure carrying `events_per_sec` (the throughput figure)
+must sustain at least the best committed rate / THROUGHPUT_FACTOR. Figures with no comparable
 committed baseline — e.g. a figure added in the PR under test — are
 reported on stderr and skipped, so the gate never blocks new experiments.
 
@@ -26,6 +28,9 @@ REGRESSION_FACTOR = 2.0
 ABSOLUTE_SLACK_S = 0.5
 MEMORY_FACTOR = 2.0
 ABSOLUTE_SLACK_MB = 50.0
+# Floor for rate-style figure fields (events_per_sec): the fresh run must
+# sustain at least best-committed / THROUGHPUT_FACTOR.
+THROUGHPUT_FACTOR = 2.0
 
 
 def load_trajectory(path, role):
@@ -80,6 +85,27 @@ def best_metric(records, key, field):
     return best
 
 
+def peak_metric(records, key, field):
+    """figure name -> highest committed `field` among records matching key.
+
+    The counterpart of `best_metric` for rate-style fields, where *bigger*
+    is better and the gate holds a floor rather than a ceiling.
+    """
+    best = {}
+    for rec in records:
+        if config_key(rec) != key:
+            continue
+        for fig in rec["figures"]:
+            if field not in fig:
+                continue
+            value = float(fig[field])
+            if value <= 0.0:
+                continue
+            name = fig["name"]
+            best[name] = max(best.get(name, value), value)
+    return best
+
+
 def main():
     if len(sys.argv) != 3:
         sys.exit(f"usage: {sys.argv[0]} <committed BENCH_sim.json> <fresh BENCH_sim.json>")
@@ -92,6 +118,7 @@ def main():
     key = config_key(fresh)
     wall_baseline = best_metric(committed, key, "wall_s")
     rss_baseline = best_metric(committed, key, "peak_rss_mb")
+    eps_baseline = peak_metric(committed, key, "events_per_sec")
     if not wall_baseline:
         print(
             f"bench_gate: note: no committed record matches config {key}; "
@@ -117,6 +144,21 @@ def main():
         if wall > limit:
             failures.append(f"{name} (wall)")
 
+        eps = fig.get("events_per_sec")
+        if eps is not None and name in eps_baseline:
+            eps = float(eps)
+            eps_base = eps_baseline[name]
+            eps_floor = eps_base / THROUGHPUT_FACTOR
+            verdict = "FAIL" if eps < eps_floor else "ok"
+            print(
+                f"{verdict:>4}  {name:<12} {eps:10.0f} ev/s (baseline {eps_base:.0f}, "
+                f"floor {eps_floor:.0f})"
+            )
+            if eps < eps_floor:
+                failures.append(f"{name} (events/sec)")
+        elif eps is not None:
+            skipped.append((name, "no committed events_per_sec baseline at this config"))
+
         rss = fig.get("peak_rss_mb")
         if rss is None or name not in rss_baseline:
             if rss is None:
@@ -141,7 +183,8 @@ def main():
     if failures:
         sys.exit(
             f"bench_gate: regression beyond {REGRESSION_FACTOR}x wall / "
-            f"{MEMORY_FACTOR}x rss in: {', '.join(failures)}"
+            f"{MEMORY_FACTOR}x rss / {THROUGHPUT_FACTOR}x events-per-sec floor "
+            f"in: {', '.join(failures)}"
         )
     print("bench_gate: no figure regressed beyond the thresholds")
 
