@@ -3,10 +3,9 @@
 //! real onion transit a spot check performs.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::collections::HashSet;
 
 use bench::{announce, bench_scale};
-use tap_id::Id;
+use tap_id::{Id, IdHashSet};
 use tap_sim::experiments::{node_failures, Testbed};
 
 fn bench_fig2(c: &mut Criterion) {
@@ -18,7 +17,7 @@ fn bench_fig2(c: &mut Criterion) {
 
     // Kernel 1: the per-tunnel survival predicate over a 20% dead set.
     let tb = Testbed::build(scale.nodes, scale.tunnels, 3, 5, 1);
-    let dead: HashSet<Id> = tb
+    let dead: IdHashSet = tb
         .overlay
         .ids()
         .enumerate()

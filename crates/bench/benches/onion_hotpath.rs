@@ -1,0 +1,114 @@
+//! Onion hot-path microbenches: the allocating wrap/peel (one fresh
+//! buffer per layer, the pre-optimization shape) against the in-place
+//! [`OnionBuilder`]/[`LayerBuf`] pair the simulator's transit loop uses,
+//! across tunnel lengths l ∈ {3, 5, 7} and 1 KB / 32 KB payloads.
+//!
+//! The two shapes are bit-compatible: at the same RNG position the
+//! allocating and in-place builders emit identical onions, so the bench
+//! measures pure allocation/copy overhead, not different ciphertexts.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tap_crypto::onion::{self, LayerBuf, OnionBuilder, LAYER_MARGIN};
+use tap_crypto::SymmetricKey;
+
+/// A hop header the size transit actually uses (next-hop id + hint frame).
+const HEADER_LEN: usize = 21;
+
+fn keys_and_layers(l: usize) -> (Vec<SymmetricKey>, Vec<(SymmetricKey, Vec<u8>)>) {
+    let mut rng = StdRng::seed_from_u64(0x0410);
+    let keys: Vec<SymmetricKey> = (0..l).map(|_| SymmetricKey::generate(&mut rng)).collect();
+    let layers = keys
+        .iter()
+        .map(|k| (*k, vec![0xB7u8; HEADER_LEN]))
+        .collect();
+    (keys, layers)
+}
+
+/// The pre-optimization wrap: every layer frames the inner onion into a
+/// fresh allocation and seals a second fresh allocation.
+fn wrap_allocating(rng: &mut StdRng, layers: &[(SymmetricKey, Vec<u8>)], core: &[u8]) -> Vec<u8> {
+    let mut onion = core.to_vec();
+    for (key, header) in layers.iter().rev() {
+        let mut plain = Vec::with_capacity(4 + header.len() + onion.len());
+        plain.extend_from_slice(&(header.len() as u32).to_be_bytes());
+        plain.extend_from_slice(header);
+        plain.extend_from_slice(&onion);
+        onion = key.seal(rng, &plain);
+    }
+    onion
+}
+
+fn bench_wrap(c: &mut Criterion) {
+    for payload in [1024usize, 32 * 1024] {
+        let core = vec![0xA5u8; payload];
+        let mut group = c.benchmark_group(format!("onion_wrap_{}k", payload / 1024));
+        group.throughput(Throughput::Bytes(payload as u64));
+        for l in [3usize, 5, 7] {
+            let (_, layers) = keys_and_layers(l);
+            group.bench_function(format!("allocating/{l}"), |b| {
+                let mut rng = StdRng::seed_from_u64(9);
+                b.iter(|| wrap_allocating(&mut rng, &layers, &core))
+            });
+            group.bench_function(format!("in_place/{l}"), |b| {
+                let mut rng = StdRng::seed_from_u64(9);
+                let margin = l * (LAYER_MARGIN + HEADER_LEN);
+                b.iter(|| {
+                    let mut builder = OnionBuilder::with_margin(&core, margin, l);
+                    for (key, header) in layers.iter().rev() {
+                        builder.add_layer(&mut rng, key, header);
+                    }
+                    builder.into_vec()
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_peel(c: &mut Criterion) {
+    for payload in [1024usize, 32 * 1024] {
+        let core = vec![0xA5u8; payload];
+        let mut group = c.benchmark_group(format!("onion_peel_{}k", payload / 1024));
+        group.throughput(Throughput::Bytes(payload as u64));
+        for l in [3usize, 5, 7] {
+            let (keys, layers) = keys_and_layers(l);
+            let mut rng = StdRng::seed_from_u64(17);
+            let sealed = onion::wrap(&mut rng, &layers, &core);
+
+            // Full traversal, allocating: each peel clones the header and
+            // the inner onion into fresh vectors.
+            group.bench_function(format!("allocating/{l}"), |b| {
+                b.iter(|| {
+                    let mut cursor = sealed.clone();
+                    for key in &keys {
+                        let peeled = onion::peel(key, &cursor).unwrap();
+                        cursor = peeled.inner;
+                    }
+                    cursor
+                })
+            });
+
+            // Full traversal, in place: one cipher pass per layer over one
+            // buffer, headers borrowed.
+            group.bench_function(format!("in_place/{l}"), |b| {
+                b.iter_batched(
+                    || LayerBuf::from_vec(sealed.clone()),
+                    |mut buf| {
+                        for key in &keys {
+                            buf.peel(key).unwrap();
+                        }
+                        buf
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_wrap, bench_peel);
+criterion_main!(benches);

@@ -13,11 +13,9 @@
 //!   and focuses the evaluation on case 1; we implement both, defaulting
 //!   to case 1 exactly as §7 does.
 
-use std::collections::HashSet;
-
 use rand::seq::IteratorRandom;
 use rand::Rng;
-use tap_id::Id;
+use tap_id::{Id, IdHashSet};
 use tap_pastry::storage::ReplicaStore;
 use tap_pastry::Overlay;
 
@@ -26,7 +24,7 @@ use crate::tha::Tha;
 /// A set of colluding malicious nodes.
 #[derive(Debug, Clone, Default)]
 pub struct Collusion {
-    members: HashSet<Id>,
+    members: IdHashSet,
 }
 
 impl Collusion {

@@ -17,10 +17,8 @@
 //! driver exists to validate that shortcut (see the agreement test) and to
 //! let applications measure end-to-end seconds for single flows.
 
-use std::collections::HashMap;
-
 use tap_crypto::onion;
-use tap_id::Id;
+use tap_id::{Id, IdHashMap};
 use tap_netsim::latency::LatencyModel;
 use tap_netsim::{EndpointId, Event, Network, SimDuration, SimTime, TimerHandle, TimerToken};
 use tap_pastry::storage::ReplicaStore;
@@ -34,7 +32,7 @@ use crate::wire::{Destination, HopHeader};
 /// Maps overlay nodes onto network endpoints and owns the event loop.
 pub struct NetDriver<L: LatencyModel> {
     net: Network<u64, L>,
-    endpoint_of: HashMap<Id, EndpointId>,
+    endpoint_of: IdHashMap<EndpointId>,
     /// Distinguishes each (hop, attempt)'s timeout timer from stale ones
     /// still sitting in the heap after a delivery won the race.
     timer_seq: u64,
@@ -63,7 +61,7 @@ impl<L: LatencyModel> NetDriver<L> {
     pub fn new(net: Network<u64, L>) -> Self {
         NetDriver {
             net,
-            endpoint_of: HashMap::new(),
+            endpoint_of: IdHashMap::default(),
             timer_seq: 0,
             flow_seq: 0,
             instruments: None,
@@ -274,7 +272,7 @@ impl<L: LatencyModel> NetDriver<L> {
         thas: &ReplicaStore<Tha>,
         from: Id,
         entry_hop: Id,
-        mut onion_bytes: Vec<u8>,
+        onion_bytes: Vec<u8>,
         payload_bytes: u64,
         options: TransitOptions,
         mut hints: Option<&mut HintCache>,
@@ -284,10 +282,13 @@ impl<L: LatencyModel> NetDriver<L> {
         let mut current = from;
         let mut hop = entry_hop;
         let mut hint: Option<Id> = None;
+        // One buffer for the whole traversal: every peel is one in-place
+        // cipher pass, and the shrinking region is also the wire size.
+        let mut onion = onion::LayerBuf::from_vec(onion_bytes);
 
         loop {
             let root = overlay.owner_of(hop).ok_or(RouteError::EmptyOverlay)?;
-            let wire = onion_bytes.len() as u64 + payload_bytes;
+            let wire = onion.len() as u64 + payload_bytes;
 
             // §5 verbatim: "It first tries the IP address; if it fails,
             // then routes the message to the tunnel hop node corresponding
@@ -326,7 +327,7 @@ impl<L: LatencyModel> NetDriver<L> {
                 return Ok((
                     Delivery::AtAnchorlessRoot {
                         node: root,
-                        residue: onion_bytes,
+                        residue: onion.into_vec(),
                     },
                     report,
                 ));
@@ -336,12 +337,12 @@ impl<L: LatencyModel> NetDriver<L> {
             }
             current = root;
 
-            let layer = onion::peel(&record.value.key, &onion_bytes)
+            let header_bytes = onion
+                .peel(&record.value.key)
                 .map_err(|_| TransitError::BadLayer { hopid: hop })?;
-            let header = HopHeader::decode(&layer.header)
+            let header = HopHeader::decode(header_bytes)
                 .map_err(|_| TransitError::BadLayer { hopid: hop })?;
             report.hops_resolved += 1;
-            onion_bytes = layer.inner;
 
             match header {
                 HopHeader::Forward {
@@ -352,7 +353,7 @@ impl<L: LatencyModel> NetDriver<L> {
                     hint = next_hint;
                 }
                 HopHeader::Deliver { dest } => {
-                    let wire = onion_bytes.len() as u64 + payload_bytes;
+                    let wire = onion.len() as u64 + payload_bytes;
                     let node = match dest {
                         Destination::Node(n) => {
                             if !overlay.is_live(n) {
@@ -376,7 +377,7 @@ impl<L: LatencyModel> NetDriver<L> {
                     return Ok((
                         Delivery::ToDestination {
                             node,
-                            core: onion_bytes,
+                            core: onion.into_vec(),
                         },
                         report,
                     ));

@@ -14,11 +14,10 @@
 //! "cache of the mappings between a tunnel hop hopid and the IP address of
 //! its tunnel hop node".
 
-use std::collections::HashMap;
 use std::time::Instant;
 
 use tap_crypto::onion;
-use tap_id::Id;
+use tap_id::{Id, IdHashMap};
 use tap_pastry::storage::ReplicaStore;
 use tap_pastry::{KeyRouter, RouteError};
 
@@ -32,7 +31,7 @@ use crate::wire::{Destination, HopHeader};
 /// identity plays the role of its address.
 #[derive(Debug, Clone, Default)]
 pub struct HintCache {
-    map: HashMap<Id, Id>,
+    map: IdHashMap<Id>,
 }
 
 impl HintCache {
@@ -234,7 +233,9 @@ pub fn drive_instrumented(
     let mut current_node = from;
     let mut hop = entry_hop;
     let mut hint: Option<Id> = None;
-    let mut onion_bytes = onion_bytes;
+    // One buffer for the whole traversal: each hop's peel is a single
+    // in-place cipher pass, the header a borrowed view.
+    let mut onion = onion::LayerBuf::from_vec(onion_bytes);
 
     loop {
         // Resolve the hopid to the node currently serving it.
@@ -247,6 +248,7 @@ pub fn drive_instrumented(
                 overlay,
                 current_node,
                 hop,
+                root,
                 hint,
                 &mut report,
                 options,
@@ -255,7 +257,7 @@ pub fn drive_instrumented(
             return Ok((
                 Delivery::AtAnchorlessRoot {
                     node: root,
-                    residue: onion_bytes,
+                    residue: onion.into_vec(),
                 },
                 report,
             ));
@@ -279,6 +281,7 @@ pub fn drive_instrumented(
             overlay,
             current_node,
             hop,
+            root,
             hint,
             &mut report,
             options,
@@ -286,17 +289,17 @@ pub fn drive_instrumented(
         )?;
         current_node = root;
 
-        // The hop node peels one layer with its replica's key.
+        // The hop node peels one layer with its replica's key, in place.
         let peel_started = instruments.map(|_| Instant::now());
-        let layer = onion::peel(&record.value.key, &onion_bytes)
+        let header_bytes = onion
+            .peel(&record.value.key)
             .map_err(|_| TransitError::BadLayer { hopid: hop })?;
         if let (Some(ins), Some(t0)) = (instruments, peel_started) {
             ins.onion_peel_us.record(t0.elapsed().as_micros() as u64);
         }
         let header =
-            HopHeader::decode(&layer.header).map_err(|_| TransitError::BadLayer { hopid: hop })?;
+            HopHeader::decode(header_bytes).map_err(|_| TransitError::BadLayer { hopid: hop })?;
         report.hops_resolved += 1;
-        onion_bytes = layer.inner;
 
         match header {
             HopHeader::Forward {
@@ -333,7 +336,7 @@ pub fn drive_instrumented(
                 return Ok((
                     Delivery::ToDestination {
                         node,
-                        core: onion_bytes,
+                        core: onion.into_vec(),
                     },
                     report,
                 ));
@@ -342,11 +345,14 @@ pub fn drive_instrumented(
     }
 }
 
-/// Move from `current` to the root of `hop`, preferring a fresh hint.
+/// Move from `current` to the root of `hop` (already resolved by the
+/// caller), preferring a fresh hint.
+#[allow(clippy::too_many_arguments)]
 fn self_route(
     overlay: &mut impl KeyRouter,
     current: Id,
     hop: Id,
+    root: Id,
     hint: Option<Id>,
     report: &mut TransitReport,
     options: TransitOptions,
@@ -357,7 +363,7 @@ fn self_route(
             // "It first tries the IP address; if it fails, then routes the
             // message to the tunnel hop node corresponding to the hopid."
             // A hint is good when the node is alive *and* still the root.
-            if overlay.is_live(h) && overlay.owner_of(hop) == Some(h) {
+            if overlay.is_live(h) && root == h {
                 report.hint_hits += 1;
                 if h != current {
                     report.overlay_hops += 1;

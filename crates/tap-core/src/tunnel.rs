@@ -157,15 +157,21 @@ impl Tunnel {
         match instruments {
             None => tap_crypto::onion::wrap(rng, &layers, core),
             Some(ins) => {
-                // Single-layer wraps compose into exactly the same onion;
-                // wrapping one layer at a time makes each seal timeable.
-                let mut inner = core.to_vec();
-                for layer in layers.into_iter().rev() {
+                // Same in-place builder as `wrap`, one layer per call so
+                // each seal is timeable; the bytes and RNG use are
+                // identical either way.
+                let margin: usize = layers
+                    .iter()
+                    .map(|(_, h)| tap_crypto::onion::LAYER_MARGIN + h.len())
+                    .sum();
+                let mut b =
+                    tap_crypto::onion::OnionBuilder::with_margin(core, margin, layers.len());
+                for (key, header) in layers.iter().rev() {
                     let t0 = std::time::Instant::now();
-                    inner = tap_crypto::onion::wrap(rng, &[layer], &inner);
+                    b.add_layer(rng, key, header);
                     ins.onion_wrap_us.record(t0.elapsed().as_micros() as u64);
                 }
-                inner
+                b.into_vec()
             }
         }
     }

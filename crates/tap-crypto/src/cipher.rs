@@ -81,35 +81,60 @@ impl SymmetricKey {
 
     /// Encrypt and authenticate `plaintext` under a fresh nonce.
     pub fn seal<R: Rng + ?Sized>(&self, rng: &mut R, plaintext: &[u8]) -> Vec<u8> {
-        let (enc_key, mac_key) = self.subkeys();
-        let mut nonce = [0u8; NONCE_LEN];
-        rng.fill(&mut nonce[..]);
-        let mut out = Vec::with_capacity(plaintext.len() + SEAL_OVERHEAD);
-        out.extend_from_slice(&nonce);
-        out.extend_from_slice(plaintext);
-        chacha20::apply_keystream(&enc_key, &nonce, 1, &mut out[NONCE_LEN..]);
-        let tag = hmac_sha256(&mac_key, &out);
-        out.extend_from_slice(&tag[..TAG_LEN]);
+        let mut out = vec![0u8; plaintext.len() + SEAL_OVERHEAD];
+        out[NONCE_LEN..NONCE_LEN + plaintext.len()].copy_from_slice(plaintext);
+        self.seal_in_place(rng, &mut out);
         out
+    }
+
+    /// Seal in place: `buf` is `nonce slot (12) || plaintext || tag slot
+    /// (16)`. The nonce slot is filled from `rng`, the plaintext region is
+    /// encrypted where it lies, and the tag slot is overwritten — no
+    /// allocation. After the call `buf` holds exactly the bytes
+    /// [`SymmetricKey::seal`] would have produced for the same plaintext
+    /// and RNG position (one 12-byte `rng.fill` either way).
+    pub fn seal_in_place<R: Rng + ?Sized>(&self, rng: &mut R, buf: &mut [u8]) {
+        assert!(
+            buf.len() >= SEAL_OVERHEAD,
+            "seal_in_place needs room for nonce and tag"
+        );
+        let (enc_key, mac_key) = self.subkeys();
+        let body_end = buf.len() - TAG_LEN;
+        rng.fill(&mut buf[..NONCE_LEN]);
+        let mut nonce = [0u8; NONCE_LEN];
+        nonce.copy_from_slice(&buf[..NONCE_LEN]);
+        chacha20::apply_keystream(&enc_key, &nonce, 1, &mut buf[NONCE_LEN..body_end]);
+        let tag = hmac_sha256(&mac_key, &buf[..body_end]);
+        buf[body_end..].copy_from_slice(&tag[..TAG_LEN]);
     }
 
     /// Verify and decrypt a message produced by [`SymmetricKey::seal`].
     pub fn open(&self, sealed: &[u8]) -> Result<Vec<u8>, CipherError> {
+        let mut buf = sealed.to_vec();
+        let range = self.open_in_place(&mut buf)?;
+        buf.truncate(range.end);
+        buf.drain(..range.start);
+        Ok(buf)
+    }
+
+    /// Verify and decrypt in place: on success the plaintext sits at the
+    /// returned range of `sealed` (between the nonce and the tag) and the
+    /// only cipher pass is the in-place decrypt — no copies. On failure the
+    /// buffer is untouched (the tag is checked before anything is written).
+    pub fn open_in_place(&self, sealed: &mut [u8]) -> Result<std::ops::Range<usize>, CipherError> {
         if sealed.len() < SEAL_OVERHEAD {
             return Err(CipherError::TooShort);
         }
         let (enc_key, mac_key) = self.subkeys();
-        let (body, tag) = sealed.split_at(sealed.len() - TAG_LEN);
-        let expect = hmac_sha256(&mac_key, body);
-        if !verify_tag(tag, &expect[..TAG_LEN]) {
+        let body_end = sealed.len() - TAG_LEN;
+        let expect = hmac_sha256(&mac_key, &sealed[..body_end]);
+        if !verify_tag(&sealed[body_end..], &expect[..TAG_LEN]) {
             return Err(CipherError::BadTag);
         }
-        let (nonce_bytes, ciphertext) = body.split_at(NONCE_LEN);
         let mut nonce = [0u8; NONCE_LEN];
-        nonce.copy_from_slice(nonce_bytes);
-        let mut plain = ciphertext.to_vec();
-        chacha20::apply_keystream(&enc_key, &nonce, 1, &mut plain);
-        Ok(plain)
+        nonce.copy_from_slice(&sealed[..NONCE_LEN]);
+        chacha20::apply_keystream(&enc_key, &nonce, 1, &mut sealed[NONCE_LEN..body_end]);
+        Ok(NONCE_LEN..body_end)
     }
 }
 
@@ -192,6 +217,43 @@ mod tests {
         assert_ne!(a, c);
     }
 
+    #[test]
+    fn in_place_seal_matches_allocating_seal() {
+        let (k, mut rng) = key(8);
+        let msg = b"same bytes either way";
+        // Two RNG clones at the same position must produce identical
+        // ciphertext through both APIs.
+        let mut rng2 = rng.clone();
+        let sealed = k.seal(&mut rng, msg);
+        let mut buf = vec![0u8; msg.len() + SEAL_OVERHEAD];
+        buf[NONCE_LEN..NONCE_LEN + msg.len()].copy_from_slice(msg);
+        k.seal_in_place(&mut rng2, &mut buf);
+        assert_eq!(buf, sealed);
+    }
+
+    #[test]
+    fn in_place_open_decrypts_between_nonce_and_tag() {
+        let (k, mut rng) = key(9);
+        let msg = b"peel me where I stand";
+        let mut sealed = k.seal(&mut rng, msg);
+        let range = k.open_in_place(&mut sealed).unwrap();
+        assert_eq!(range, NONCE_LEN..NONCE_LEN + msg.len());
+        assert_eq!(&sealed[range], msg);
+    }
+
+    #[test]
+    fn in_place_open_leaves_buffer_untouched_on_bad_tag() {
+        let (k, mut rng) = key(10);
+        let mut sealed = k.seal(&mut rng, b"tamper target");
+        let last = sealed.len() - 1;
+        sealed[last] ^= 1;
+        let before = sealed.clone();
+        assert_eq!(k.open_in_place(&mut sealed), Err(CipherError::BadTag));
+        assert_eq!(sealed, before, "failed open must not scribble");
+        let mut short = sealed[..SEAL_OVERHEAD - 1].to_vec();
+        assert_eq!(k.open_in_place(&mut short), Err(CipherError::TooShort));
+    }
+
     proptest! {
         #[test]
         fn prop_seal_open_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512), seed in any::<u64>()) {
@@ -199,6 +261,17 @@ mod tests {
             let k = SymmetricKey::generate(&mut rng);
             let sealed = k.seal(&mut rng, &data);
             prop_assert_eq!(k.open(&sealed).unwrap(), data);
+        }
+
+        #[test]
+        fn prop_in_place_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512), seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let k = SymmetricKey::generate(&mut rng);
+            let mut buf = vec![0u8; data.len() + SEAL_OVERHEAD];
+            buf[NONCE_LEN..NONCE_LEN + data.len()].copy_from_slice(&data);
+            k.seal_in_place(&mut rng, &mut buf);
+            let range = k.open_in_place(&mut buf).unwrap();
+            prop_assert_eq!(&buf[range], &data[..]);
         }
     }
 }

@@ -13,7 +13,16 @@
 
 use rand::Rng;
 
-use crate::cipher::{CipherError, SymmetricKey};
+use crate::chacha20::NONCE_LEN;
+use crate::cipher::{CipherError, SymmetricKey, TAG_LEN};
+
+/// Framing prefix: a big-endian `u32` header length.
+const LEN_PREFIX: usize = 4;
+
+/// Front-margin bytes [`OnionBuilder`] consumes per layer *beyond* the
+/// header itself (nonce plus framing prefix) — size reservations with
+/// `LAYER_MARGIN + header.len()` per layer never regrow.
+pub const LAYER_MARGIN: usize = NONCE_LEN + LEN_PREFIX;
 
 /// One decrypted layer: the routing header for this hop and the still-sealed
 /// remainder destined for the next hop.
@@ -23,30 +32,6 @@ pub struct PeeledLayer {
     pub header: Vec<u8>,
     /// The sealed inner onion (empty at the innermost layer).
     pub inner: Vec<u8>,
-}
-
-/// Frame `header` and `inner` into one plaintext buffer.
-fn frame(header: &[u8], inner: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(4 + header.len() + inner.len());
-    out.extend_from_slice(&(header.len() as u32).to_be_bytes());
-    out.extend_from_slice(header);
-    out.extend_from_slice(inner);
-    out
-}
-
-/// Split a framed plaintext back into header and inner.
-fn unframe(plain: &[u8]) -> Result<PeeledLayer, OnionError> {
-    if plain.len() < 4 {
-        return Err(OnionError::Malformed);
-    }
-    let hlen = u32::from_be_bytes([plain[0], plain[1], plain[2], plain[3]]) as usize;
-    if plain.len() < 4 + hlen {
-        return Err(OnionError::Malformed);
-    }
-    Ok(PeeledLayer {
-        header: plain[4..4 + hlen].to_vec(),
-        inner: plain[4 + hlen..].to_vec(),
-    })
 }
 
 /// Errors from peeling an onion layer.
@@ -91,25 +76,183 @@ pub fn wrap<R: Rng + ?Sized>(
     core: &[u8],
 ) -> Vec<u8> {
     assert!(!layers.is_empty(), "an onion needs at least one layer");
-    let mut inner: Vec<u8> = core.to_vec();
-    let mut first = true;
+    let margin: usize = layers.iter().map(|(_, h)| LAYER_MARGIN + h.len()).sum();
+    let mut b = OnionBuilder::with_margin(core, margin, layers.len());
     for (key, header) in layers.iter().rev() {
-        let plain = if first {
-            first = false;
-            frame(header, &inner)
-        } else {
-            frame(header, &inner)
-        };
-        inner = key.seal(rng, &plain);
+        b.add_layer(rng, key, header);
     }
-    inner
+    b.into_vec()
+}
+
+/// Builds an onion in one buffer, growing outward from the core: every
+/// [`OnionBuilder::add_layer`] writes the frame prefix and header in front
+/// of the current region, seals it in place ([`SymmetricKey::seal_in_place`]),
+/// and extends the region by exactly the layer overhead — no per-layer
+/// allocation, and byte-for-byte the output of the allocating [`wrap`] at
+/// the same RNG position.
+///
+/// Layers are added **innermost first** (the reverse of [`wrap`]'s argument
+/// order), which is also the order the initiator's per-layer timing wants.
+#[derive(Debug)]
+pub struct OnionBuilder {
+    buf: Vec<u8>,
+    start: usize,
+    end: usize,
+}
+
+impl OnionBuilder {
+    /// Start from the innermost payload, reserving `margin` front bytes —
+    /// enough when it is ≥ Σ per-layer `NONCE_LEN + LEN_PREFIX + header.len()`
+    /// (the builder regrows if an `add_layer` outruns the reservation).
+    pub fn with_margin(core: &[u8], margin: usize, layers_hint: usize) -> OnionBuilder {
+        let mut buf = vec![0u8; margin + core.len()];
+        buf[margin..].copy_from_slice(core);
+        buf.reserve(layers_hint * TAG_LEN);
+        OnionBuilder {
+            buf,
+            start: margin,
+            end: margin + core.len(),
+        }
+    }
+
+    /// Wrap the current region in one more layer keyed by `key`, showing
+    /// `header` to the hop that will peel it.
+    pub fn add_layer<R: Rng + ?Sized>(&mut self, rng: &mut R, key: &SymmetricKey, header: &[u8]) {
+        let need = LAYER_MARGIN + header.len();
+        if self.start < need {
+            // The reservation was short: regrow the front margin.
+            let extra = (need - self.start).max(64);
+            let mut grown = vec![0u8; extra + self.buf.len()];
+            grown[extra..].copy_from_slice(&self.buf);
+            self.buf = grown;
+            self.start += extra;
+            self.end += extra;
+        }
+        let frame_start = self.start - LEN_PREFIX - header.len();
+        self.buf[frame_start..frame_start + LEN_PREFIX]
+            .copy_from_slice(&(header.len() as u32).to_be_bytes());
+        self.buf[frame_start + LEN_PREFIX..self.start].copy_from_slice(header);
+        self.start = frame_start - NONCE_LEN;
+        self.end += TAG_LEN;
+        if self.buf.len() < self.end {
+            self.buf.resize(self.end, 0);
+        }
+        key.seal_in_place(rng, &mut self.buf[self.start..self.end]);
+    }
+
+    /// The sealed onion built so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf[self.start..self.end]
+    }
+
+    /// Finish, reusing the build buffer as the onion (one `memmove`, no
+    /// allocation).
+    pub fn into_vec(mut self) -> Vec<u8> {
+        self.buf.truncate(self.end);
+        self.buf.drain(..self.start);
+        self.buf
+    }
+}
+
+/// A reusable peel buffer: load a sealed onion once, then every
+/// [`LayerBuf::peel`] is a single in-place cipher pass. The header comes
+/// back as a borrowed view and the inner onion simply *is* the same buffer,
+/// narrowed — the per-hop transit loop allocates nothing.
+#[derive(Debug, Default, Clone)]
+pub struct LayerBuf {
+    buf: Vec<u8>,
+    start: usize,
+    end: usize,
+}
+
+impl LayerBuf {
+    /// An empty buffer; [`LayerBuf::load`] it before peeling.
+    pub fn new() -> LayerBuf {
+        LayerBuf::default()
+    }
+
+    /// Adopt an owned onion without copying.
+    pub fn from_vec(onion: Vec<u8>) -> LayerBuf {
+        let end = onion.len();
+        LayerBuf {
+            buf: onion,
+            start: 0,
+            end,
+        }
+    }
+
+    /// Finish, reusing the backing buffer for the remaining bytes (one
+    /// `memmove`, no allocation).
+    pub fn into_vec(mut self) -> Vec<u8> {
+        self.buf.truncate(self.end);
+        self.buf.drain(..self.start);
+        self.buf
+    }
+
+    /// Load a sealed onion, reusing the buffer's capacity.
+    pub fn load(&mut self, onion: &[u8]) {
+        self.buf.clear();
+        self.buf.extend_from_slice(onion);
+        self.start = 0;
+        self.end = onion.len();
+    }
+
+    /// The current contents: the sealed remainder after each peel, or the
+    /// core payload once the innermost layer has been peeled.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf[self.start..self.end]
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the buffer currently holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Copy the current contents out (the final residue travels onward as
+    /// an owned value; everything before that stays borrowed).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.bytes().to_vec()
+    }
+
+    /// Peel one layer in place and return this hop's header as a view into
+    /// the buffer. Afterwards [`LayerBuf::bytes`] is the sealed remainder.
+    /// On [`OnionError::Crypto`] the buffer is unchanged; on
+    /// [`OnionError::Malformed`] its contents are unspecified (the caller
+    /// is aborting the transit either way).
+    pub fn peel(&mut self, key: &SymmetricKey) -> Result<&[u8], OnionError> {
+        let plain = key
+            .open_in_place(&mut self.buf[self.start..self.end])
+            .map(|r| self.start + r.start..self.start + r.end)?;
+        if plain.len() < LEN_PREFIX {
+            return Err(OnionError::Malformed);
+        }
+        let p = &self.buf[plain.start..plain.start + LEN_PREFIX];
+        let hlen = u32::from_be_bytes([p[0], p[1], p[2], p[3]]) as usize;
+        if plain.len() < LEN_PREFIX + hlen {
+            return Err(OnionError::Malformed);
+        }
+        let header = plain.start + LEN_PREFIX..plain.start + LEN_PREFIX + hlen;
+        self.start = header.end;
+        self.end = plain.end;
+        Ok(&self.buf[header])
+    }
 }
 
 /// Peel one layer with `key`, returning this hop's header and the sealed
 /// remainder (the innermost layer's remainder is the core payload).
 pub fn peel(key: &SymmetricKey, onion: &[u8]) -> Result<PeeledLayer, OnionError> {
-    let plain = key.open(onion)?;
-    unframe(&plain)
+    let mut buf = LayerBuf::new();
+    buf.load(onion);
+    let header = buf.peel(key)?.to_vec();
+    Ok(PeeledLayer {
+        header,
+        inner: buf.to_vec(),
+    })
 }
 
 /// Peel an entire onion with a known key sequence (outermost first),
@@ -120,13 +263,12 @@ pub fn peel_all(
     onion: &[u8],
 ) -> Result<(Vec<Vec<u8>>, Vec<u8>), OnionError> {
     let mut headers = Vec::with_capacity(keys.len());
-    let mut cursor = onion.to_vec();
+    let mut buf = LayerBuf::new();
+    buf.load(onion);
     for key in keys {
-        let layer = peel(key, &cursor)?;
-        headers.push(layer.header);
-        cursor = layer.inner;
+        headers.push(buf.peel(key)?.to_vec());
     }
-    Ok((headers, cursor))
+    Ok((headers, buf.to_vec()))
 }
 
 #[cfg(test)]
@@ -212,6 +354,93 @@ mod tests {
         let (headers, core) = peel_all(&ks, &onion).unwrap();
         assert!(headers.iter().all(|h| h.is_empty()));
         assert!(core.is_empty());
+    }
+
+    #[test]
+    fn wrap_bytes_match_a_manual_seal_chain() {
+        // The in-place builder must be byte-identical to sealing framed
+        // layers one Vec at a time from the same RNG position.
+        let (ks, rng) = keys(3, 8);
+        let layers: Vec<_> = ks
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (*k, vec![i as u8; 5 + i]))
+            .collect();
+        let mut a_rng = rng.clone();
+        let mut b_rng = rng;
+        let onion = wrap(&mut a_rng, &layers, b"core bytes");
+
+        let mut inner = b"core bytes".to_vec();
+        for (key, header) in layers.iter().rev() {
+            let mut plain = (header.len() as u32).to_be_bytes().to_vec();
+            plain.extend_from_slice(header);
+            plain.extend_from_slice(&inner);
+            inner = key.seal(&mut b_rng, &plain);
+        }
+        assert_eq!(onion, inner);
+    }
+
+    #[test]
+    fn layer_buf_peels_match_allocating_peels_and_reuse_is_clean() {
+        let (ks, mut rng) = keys(4, 9);
+        let layers: Vec<_> = ks
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (*k, format!("header-{i}").into_bytes()))
+            .collect();
+        let onion = wrap(&mut rng, &layers, b"the core");
+
+        let mut buf = LayerBuf::new();
+        // Load twice: the second pass must be unaffected by the first
+        // (reuse across transits is the whole point).
+        for _ in 0..2 {
+            buf.load(&onion);
+            let mut cursor = onion.clone();
+            for k in &ks {
+                let reference = peel(k, &cursor).unwrap();
+                let header = buf.peel(k).unwrap();
+                assert_eq!(header, &reference.header[..]);
+                assert_eq!(buf.bytes(), &reference.inner[..]);
+                cursor = reference.inner;
+            }
+            assert_eq!(buf.bytes(), b"the core");
+        }
+    }
+
+    #[test]
+    fn layer_buf_rejects_what_peel_rejects() {
+        let (ks, mut rng) = keys(2, 10);
+        let layers: Vec<_> = ks.iter().map(|k| (*k, b"h".to_vec())).collect();
+        let onion = wrap(&mut rng, &layers, b"core");
+        let mut buf = LayerBuf::new();
+        buf.load(&onion);
+        assert!(matches!(
+            buf.peel(&ks[1]),
+            Err(OnionError::Crypto(CipherError::BadTag))
+        ));
+        // A failed authentication leaves the buffer usable.
+        assert_eq!(buf.peel(&ks[0]).unwrap(), b"h");
+        buf.load(b"xx");
+        assert!(matches!(
+            buf.peel(&ks[0]),
+            Err(OnionError::Crypto(CipherError::TooShort))
+        ));
+    }
+
+    #[test]
+    fn builder_regrows_when_the_margin_is_short() {
+        let (ks, mut rng) = keys(2, 11);
+        // Deliberately reserve nothing: every add_layer must regrow.
+        let mut b = OnionBuilder::with_margin(b"payload", 0, 0);
+        b.add_layer(&mut rng, &ks[1], b"inner-header");
+        b.add_layer(&mut rng, &ks[0], b"outer-header");
+        let onion = b.into_vec();
+        let (headers, core) = peel_all(&ks, &onion).unwrap();
+        assert_eq!(
+            headers,
+            vec![b"outer-header".to_vec(), b"inner-header".to_vec()]
+        );
+        assert_eq!(core, b"payload");
     }
 
     #[test]

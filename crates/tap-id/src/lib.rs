@@ -40,9 +40,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod hash;
 mod id;
 mod range;
 
+pub use hash::{BuildIdHasher, IdHashMap, IdHashSet, IdHasher};
 pub use id::{Id, IdParseError, ID_BITS, ID_BYTES};
 pub use range::{first_digit_buckets, ArcRange};
 

@@ -15,8 +15,10 @@
 //!   the Pastry paper: forward to any known node at least as good in
 //!   prefix and strictly closer numerically).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
+
 use std::sync::Arc;
+use tap_id::{IdHashMap, IdHashSet};
 
 use rand::Rng;
 use tap_id::Id;
@@ -121,13 +123,16 @@ impl OverlayInstruments {
 #[derive(Clone)]
 pub struct Overlay {
     config: PastryConfig,
-    nodes: HashMap<Id, Arc<NodeHandle>>,
+    /// Live node handles. Always holds exactly the ids in `ring` — the
+    /// hot paths prefer `nodes.contains_key` (one fold-hash probe) over
+    /// `ring.contains` (a deep `BTreeSet` descent) for membership.
+    nodes: IdHashMap<Arc<NodeHandle>>,
     ring: BTreeSet<Id>,
     /// Dense membership list for O(1) *uniform* random-node sampling
     /// (successor-of-a-random-probe sampling would be biased by ring-gap
     /// size, which skews relay selection statistics in the experiments).
     order: Vec<Id>,
-    pos: HashMap<Id, usize>,
+    pos: IdHashMap<usize>,
     instruments: OverlayInstruments,
 }
 
@@ -137,10 +142,10 @@ pub struct Overlay {
 /// handle the mutations in between had copied.
 #[derive(Clone)]
 pub struct OverlayCheckpoint {
-    nodes: HashMap<Id, Arc<NodeHandle>>,
+    nodes: IdHashMap<Arc<NodeHandle>>,
     ring: BTreeSet<Id>,
     order: Vec<Id>,
-    pos: HashMap<Id, usize>,
+    pos: IdHashMap<usize>,
 }
 
 impl OverlayCheckpoint {
@@ -162,10 +167,10 @@ impl Overlay {
         config.validate();
         Overlay {
             config,
-            nodes: HashMap::new(),
+            nodes: IdHashMap::default(),
             ring: BTreeSet::new(),
             order: Vec::new(),
-            pos: HashMap::new(),
+            pos: IdHashMap::default(),
             instruments: OverlayInstruments::new(Registry::new()),
         }
     }
@@ -198,7 +203,7 @@ impl Overlay {
 
     /// Whether `id` is a live member.
     pub fn is_live(&self, id: Id) -> bool {
-        self.ring.contains(&id)
+        self.nodes.contains_key(&id)
     }
 
     /// Iterate over all live node ids (ring order).
@@ -381,6 +386,75 @@ impl Overlay {
         cands
     }
 
+    /// Oracle: every live node in nearest-first order from `key` — the
+    /// lazy equivalent of `k_closest(key, len())`, emitting the same
+    /// sequence without materialising or sorting the whole ring. Callers
+    /// that stop after a few items (e.g. "closest responsive node") pay
+    /// O(taken) instead of O(N log N).
+    ///
+    /// Works by merging the clockwise and counter-clockwise ring walks:
+    /// the unvisited ids always form one contiguous arc whose *farthest*
+    /// point from `key` is interior, so the nearest unvisited id is one of
+    /// the arc's two endpoints — comparing the frontiers with
+    /// [`Id::cmp_distance`] (the exact comparator `k_closest` sorts by,
+    /// ties and all) picks it.
+    pub fn closest_iter(&self, key: Id) -> impl Iterator<Item = Id> + '_ {
+        use std::ops::Bound;
+        let total = self.ring.len();
+        let mut succ = self
+            .ring
+            .range((Bound::Excluded(key), Bound::Unbounded))
+            .chain(self.ring.range(..key))
+            .copied()
+            .peekable();
+        let mut pred = self
+            .ring
+            .range(..key)
+            .rev()
+            .chain(
+                self.ring
+                    .range((Bound::Excluded(key), Bound::Unbounded))
+                    .rev(),
+            )
+            .copied()
+            .peekable();
+        let mut emit_key = self.ring.contains(&key);
+        let mut produced = 0usize;
+        std::iter::from_fn(move || {
+            if produced >= total {
+                return None;
+            }
+            produced += 1;
+            if emit_key {
+                emit_key = false;
+                return Some(key);
+            }
+            let next = match (succ.peek().copied(), pred.peek().copied()) {
+                (Some(s), Some(p)) => {
+                    if s == p {
+                        // The arc is down to its last id: both frontiers
+                        // point at it; consume both.
+                        pred.next();
+                        s
+                    } else if key.cmp_distance(s, p) == std::cmp::Ordering::Greater {
+                        p
+                    } else {
+                        s
+                    }
+                }
+                (Some(s), None) => s,
+                (None, Some(p)) => p,
+                (None, None) => unreachable!("produced < total implies an unvisited id"),
+            };
+            if succ.peek() == Some(&next) {
+                succ.next();
+            } else {
+                pred.next();
+            }
+            Some(next)
+        })
+    }
+
     // ------------------------------------------------------------------
     // Membership
     // ------------------------------------------------------------------
@@ -403,7 +477,7 @@ impl Overlay {
     /// donates its leaf set; everyone in the new leaf set learns about the
     /// newcomer.
     pub fn add_node(&mut self, id: Id) -> bool {
-        if self.ring.contains(&id) {
+        if self.nodes.contains_key(&id) {
             return false;
         }
         let half = self.config.leaf_half();
@@ -536,7 +610,7 @@ impl Overlay {
         let mut candidates: BTreeSet<Id> = BTreeSet::new();
         for handle in &departed {
             for m in handle.leafset.members() {
-                if self.ring.contains(&m) {
+                if self.nodes.contains_key(&m) {
                     candidates.insert(m);
                 } else {
                     self.note_stale_leafset_ref(m);
@@ -544,7 +618,7 @@ impl Overlay {
             }
         }
 
-        let removed: std::collections::HashSet<Id> = departed.iter().map(|h| h.id).collect();
+        let removed: IdHashSet = departed.iter().map(|h| h.id).collect();
         for a in candidates {
             self.repair_survivor(a, &|x| removed.contains(&x));
         }
@@ -619,7 +693,7 @@ impl Overlay {
         if self.ring.is_empty() {
             return Err(RouteError::EmptyOverlay);
         }
-        if !self.ring.contains(&from) {
+        if !self.nodes.contains_key(&from) {
             return Err(RouteError::UnknownSource(from));
         }
         let mut current = from;
@@ -635,9 +709,9 @@ impl Overlay {
         // prefix), but each metric alone is monotone. A route also flips to
         // ring mode the moment it would revisit a node, which makes loops
         // impossible by construction.
+        // Revisit detection scans `path` directly: paths are O(log N)
+        // short, so a linear scan beats allocating a hash set per route.
         let mut ring_mode = false;
-        let mut visited: std::collections::HashSet<Id> = std::collections::HashSet::new();
-        visited.insert(from);
 
         loop {
             if path.len() > max_hops {
@@ -653,7 +727,7 @@ impl Overlay {
                     });
                 }
                 Some(n) => {
-                    if !ring_mode && visited.contains(&n) {
+                    if !ring_mode && path.contains(&n) {
                         // Prefix routing is about to cycle; re-decide this
                         // hop on pure ring progress.
                         ring_mode = true;
@@ -661,7 +735,6 @@ impl Overlay {
                     }
                     ring_mode |= went_greedy;
                     debug_assert!(self.ring.contains(&n), "forwarded to dead node");
-                    visited.insert(n);
                     path.push(n);
                     current = n;
                 }
@@ -701,7 +774,7 @@ impl Overlay {
         if !ring_mode {
             let hop = self.nodes[&current].table.next_hop(key);
             if let Some(h) = hop {
-                if self.ring.contains(&h) {
+                if self.nodes.contains_key(&h) {
                     return Ok((Some(h), false));
                 }
                 // Stale entry: lazy repair.
@@ -725,7 +798,7 @@ impl Overlay {
         let mut best_greedy: Option<Id> = None;
         let mut stale = Vec::new();
         for c in node.table.entries().chain(node.leafset.members()) {
-            if !self.ring.contains(&c) {
+            if !self.nodes.contains_key(&c) {
                 stale.push(c);
                 continue;
             }
@@ -983,6 +1056,28 @@ mod tests {
     }
 
     #[test]
+    fn closest_iter_matches_k_closest_exactly() {
+        for (n, seed) in [(1usize, 20u64), (2, 21), (3, 22), (57, 23), (200, 24)] {
+            let (ov, mut rng) = build(n, seed);
+            let mut keys: Vec<Id> = (0..16).map(|_| Id::random(&mut rng)).collect();
+            // Also probe with keys that ARE ring members (emit-self path).
+            keys.extend(ov.ids().take(4));
+            for key in keys {
+                let lazy: Vec<Id> = ov.closest_iter(key).collect();
+                let full = ov.k_closest(key, n);
+                assert_eq!(lazy, full, "n={n} seed={seed}");
+                // The iterator is fused at the population size.
+                assert_eq!(ov.closest_iter(key).count(), n);
+                // Prefixes agree too (lazy use never over- or under-takes).
+                for k in [1usize, 2, 7] {
+                    let prefix: Vec<Id> = ov.closest_iter(key).take(k).collect();
+                    assert_eq!(prefix, ov.k_closest(key, k), "k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn owner_of_exact_key_is_that_node() {
         let (ov, _) = build(50, 11);
         for id in ov.ids().collect::<Vec<_>>() {
@@ -1159,7 +1254,7 @@ mod tests {
     #[test]
     fn random_node_is_roughly_uniform() {
         let (ov, mut rng) = build(20, 15);
-        let mut counts: HashMap<Id, usize> = HashMap::new();
+        let mut counts: std::collections::HashMap<Id, usize> = std::collections::HashMap::new();
         for _ in 0..4000 {
             *counts.entry(ov.random_node(&mut rng).unwrap()).or_default() += 1;
         }

@@ -29,8 +29,6 @@
 //! hop — the gap that Castro et al. close with neighbour-set anycast,
 //! which is out of scope here.
 
-use std::collections::HashMap;
-
 use tap_id::Id;
 
 use crate::overlay::{Overlay, RouteError};
@@ -48,7 +46,7 @@ pub enum NodeBehavior {
 }
 
 /// Assignment of behaviours to nodes (absent ⇒ honest).
-pub type BehaviorMap = HashMap<Id, NodeBehavior>;
+pub type BehaviorMap = tap_id::IdHashMap<NodeBehavior>;
 
 /// The outcome of one adversarial routing attempt.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -290,14 +288,18 @@ pub fn iterative_secure_lookup(
     key: Id,
     max_queries: usize,
 ) -> Result<IterativeOutcome, SecureRouteError> {
-    use std::collections::HashSet;
+    use std::cmp::Reverse;
+    use std::collections::{BinaryHeap, HashSet};
 
-    // Frontier of known candidate ids, best (closest to key) first.
-    let mut frontier: Vec<Id> = Vec::new();
+    // Frontier of known candidate ids as a min-heap keyed by
+    // (ring distance to key, id) — the exact total order of
+    // [`Id::cmp_distance`], so pops come out best-first without
+    // re-sorting the whole frontier every iteration.
+    let mut frontier: BinaryHeap<Reverse<(Id, Id)>> = BinaryHeap::new();
     let mut seen: HashSet<Id> = HashSet::new();
-    let push = |frontier: &mut Vec<Id>, seen: &mut HashSet<Id>, id: Id| {
+    let push = |frontier: &mut BinaryHeap<Reverse<(Id, Id)>>, seen: &mut HashSet<Id>, id: Id| {
         if seen.insert(id) {
-            frontier.push(id);
+            frontier.push(Reverse((key.ring_distance(id), id)));
         }
     };
 
@@ -315,11 +317,9 @@ pub fn iterative_secure_lookup(
 
     while queries < max_queries {
         // Closest unqueried candidate.
-        frontier.sort_by(|a, b| key.cmp_distance(*a, *b));
-        let Some(c) = frontier.first().copied() else {
+        let Some(Reverse((_, c))) = frontier.pop() else {
             break;
         };
-        frontier.remove(0);
         queries += 1;
 
         if !overlay.is_live(c) {
@@ -403,7 +403,7 @@ mod tests {
     #[test]
     fn honest_network_agrees_with_plain_route() {
         let (mut ov, mut rng) = build(300, 1);
-        let behavior = BehaviorMap::new();
+        let behavior = BehaviorMap::default();
         for _ in 0..30 {
             let from = ov.random_node(&mut rng).unwrap();
             let key = Id::random(&mut rng);
@@ -539,7 +539,7 @@ mod tests {
     #[test]
     fn iterative_lookup_matches_oracle_on_honest_network() {
         let (mut ov, mut rng) = build(500, 15);
-        let behavior = BehaviorMap::new();
+        let behavior = BehaviorMap::default();
         for _ in 0..40 {
             let from = ov.random_node(&mut rng).unwrap();
             let key = Id::random(&mut rng);
@@ -606,7 +606,7 @@ mod tests {
     #[test]
     fn redundancy_costs_hops() {
         let (mut ov, mut rng) = build(300, 6);
-        let behavior = BehaviorMap::new();
+        let behavior = BehaviorMap::default();
         let from = ov.random_node(&mut rng).unwrap();
         let key = Id::random(&mut rng);
         let single = redundant_route(&mut ov, &behavior, &mut rng, from, key, 1).unwrap();

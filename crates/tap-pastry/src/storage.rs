@@ -16,10 +16,10 @@
 //!   that was *ever* given a replica keeps the secret forever. Fig. 5's
 //!   churn experiment is exactly this set growing over time.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use tap_id::Id;
+use tap_id::{Id, IdHashMap, IdHashSet};
 use tap_metrics::{Counter, Registry};
 
 use crate::substrate::KeyRouter;
@@ -57,7 +57,7 @@ pub struct ObjectRecord<V> {
     /// "tunnel hop node candidates".
     pub holders: Vec<Id>,
     /// Every node that ever appeared in the replica set.
-    pub ever_held: HashSet<Id>,
+    pub ever_held: IdHashSet,
 }
 
 /// Cached instrument handles for the store's churn-repair paths.
@@ -84,9 +84,9 @@ impl StoreInstruments {
 #[derive(Debug, Clone)]
 pub struct ReplicaStore<V> {
     k: usize,
-    objects: HashMap<Id, ObjectRecord<V>>,
+    objects: IdHashMap<ObjectRecord<V>>,
     /// Inverted index: node → object keys it currently holds.
-    held: HashMap<Id, HashSet<Id>>,
+    held: IdHashMap<IdHashSet>,
     instruments: StoreInstruments,
 }
 
@@ -97,8 +97,8 @@ impl<V> ReplicaStore<V> {
         assert!(k >= 1, "replication factor must be at least 1");
         ReplicaStore {
             k,
-            objects: HashMap::new(),
-            held: HashMap::new(),
+            objects: IdHashMap::default(),
+            held: IdHashMap::default(),
             instruments: StoreInstruments::new(Registry::new()),
         }
     }
@@ -298,7 +298,7 @@ impl<V> ReplicaStore<V> {
     pub fn on_node_added(&mut self, overlay: &impl KeyRouter, node: Id) {
         // Only objects held within the newcomer's ring neighbourhood can be
         // affected: their previous holders are within 2k ring positions.
-        let mut candidates: HashSet<Id> = HashSet::new();
+        let mut candidates: IdHashSet = IdHashSet::default();
         for n in overlay
             .following(node, 2 * self.k + 2)
             .into_iter()
@@ -510,7 +510,7 @@ mod tests {
         let mut store = ReplicaStore::new(3);
         let key = Id::random(&mut rng);
         store.insert(&ov, key, ()).unwrap();
-        let mut prev: HashSet<Id> = store.get(key).unwrap().ever_held.clone();
+        let mut prev: IdHashSet = store.get(key).unwrap().ever_held.clone();
         for _ in 0..30 {
             let victim = ov.random_node(&mut rng).unwrap();
             ov.remove_node(victim);

@@ -12,15 +12,13 @@
 //! spot-checked here end-to-end); a baseline tunnel functions iff every
 //! relay node survived.
 
-use std::collections::HashSet;
-
 use rand::rngs::StdRng;
 use rand::seq::IteratorRandom;
 
 use tap_core::transit::{self, TransitError, TransitOptions};
 use tap_core::tunnel::Tunnel;
 use tap_core::wire::Destination;
-use tap_id::Id;
+use tap_id::{Id, IdHashSet};
 use tap_metrics::Registry;
 use tap_pastry::storage::ReplicaStore;
 
@@ -52,7 +50,7 @@ pub fn run(scale: &Scale) -> Series {
         .iter()
         .map(|t| {
             let mut relays = Vec::with_capacity(l);
-            let mut used: HashSet<Id> = HashSet::new();
+            let mut used: IdHashSet = IdHashSet::default();
             used.insert(t.initiator);
             while relays.len() < l {
                 let n = tb.overlay.random_node(&mut tb.rng).expect("non-empty");
@@ -90,7 +88,7 @@ pub fn run(scale: &Scale) -> Series {
             let trial_metrics = Registry::new();
             crate::experiments::apply_journal(&trial_metrics, scale);
             let dead_count = ((scale.nodes as f64) * p).round() as usize;
-            let dead: HashSet<Id> = all_ids
+            let dead: IdHashSet = all_ids
                 .iter()
                 .copied()
                 .choose_multiple(rng, dead_count)
@@ -143,7 +141,7 @@ pub fn run(scale: &Scale) -> Series {
 pub fn tunnel_broken(
     thas: &ReplicaStore<tap_core::tha::Tha>,
     hop_ids: &[Id],
-    dead: &HashSet<Id>,
+    dead: &IdHashSet,
 ) -> bool {
     hop_ids
         .iter()
@@ -174,7 +172,7 @@ fn reinsert_with_k(tb: &Testbed, k: usize) -> ReplicaStore<tap_core::tha::Tha> {
 fn spot_check_with_transit(
     tb: &Testbed,
     trial_metrics: &Registry,
-    dead: &HashSet<Id>,
+    dead: &IdHashSet,
     rng: &mut StdRng,
 ) {
     // Copy-on-write: the clone shares every node handle with the testbed
@@ -287,7 +285,7 @@ mod tests {
     fn tunnel_broken_predicate() {
         let tb = Testbed::build(150, 5, 3, 3, 3);
         let t = &tb.tunnels[0];
-        let mut dead = HashSet::new();
+        let mut dead = IdHashSet::default();
         assert!(!tunnel_broken(&tb.thas, &t.hop_ids(), &dead));
         // Kill every holder of the first hop.
         for h in tb.thas.holders(t.hop_ids()[0]) {

@@ -133,10 +133,11 @@ pub fn run(scale: &Scale) -> Series {
 }
 
 /// The closest node to `key` that answers queries (droppers excluded).
+/// `closest_iter` walks the ring nearest-first lazily, so this stops after
+/// ~1/(1-p) candidates instead of sorting the whole population per call.
 fn closest_responsive(overlay: &Overlay, behavior: &BehaviorMap, key: Id) -> Id {
     overlay
-        .k_closest(key, overlay.len())
-        .into_iter()
+        .closest_iter(key)
         .find(|n| !matches!(behavior.get(n), Some(NodeBehavior::Drop)))
         .expect("somebody is honest")
 }

@@ -74,16 +74,22 @@ fn main() {
 
     // Figures run one at a time; the parallelism lives *inside* each
     // figure's trial pool, so the per-figure wall-clock below is honest.
-    // Peak RSS is the process high-water mark sampled after each figure:
-    // monotone within a run, but comparable across runs figure-by-figure
-    // because the figure order is fixed, and exact for single-figure runs.
+    // `VmHWM` is a process-lifetime high-water mark — monotone, so
+    // sampling it *after* each figure attributes every earlier figure's
+    // peak to every later one (in an `all` run each row just restates the
+    // run maximum). Instead each figure reports the HWM *increment* across
+    // it: how much this figure grew the process peak. Zero means the
+    // figure fit inside memory some earlier figure already touched.
     let mut wall: Vec<FigureRecord> = Vec::new();
     let mut io_errors = 0usize;
     for (name, job) in &selected {
+        let rss_before = peak_rss_kb();
         let start = Instant::now();
         let series = job(&scale);
         let took = start.elapsed();
-        let rss_kb = peak_rss_kb();
+        let rss_delta_kb = peak_rss_kb()
+            .zip(rss_before)
+            .map(|(after, before)| after.saturating_sub(before));
         println!("{series}");
         println!(
             "({name}: {} rows in {took:.2?}, N={}, tunnels={}, threads={})\n",
@@ -106,16 +112,17 @@ fn main() {
         wall.push(FigureRecord {
             name,
             wall_s: took.as_secs_f64(),
-            rss_kb,
+            rss_delta_kb,
             extras: series.bench_extras.clone(),
         });
     }
+    let peak_rss_kb = peak_rss_kb();
 
     let bench_path = match &parsed.csv_dir {
         Some(dir) => format!("{dir}/BENCH_sim.json"),
         None => "BENCH_sim.json".to_string(),
     };
-    match append_bench_record(&bench_path, &scale, parsed.paper, &wall) {
+    match append_bench_record(&bench_path, &scale, parsed.paper, &wall, peak_rss_kb) {
         Ok(()) => println!("wrote {bench_path}"),
         Err(e) => {
             eprintln!("tap-sim: {e}");
@@ -152,12 +159,13 @@ fn peak_rss_kb() -> Option<u64> {
     line.split_whitespace().nth(1)?.parse().ok()
 }
 
-/// One figure's bench-record entry: wall-clock, peak RSS, and any
-/// figure-reported extras (e.g. the throughput figure's `events_per_sec`).
+/// One figure's bench-record entry: wall-clock, the `VmHWM` increment the
+/// figure is responsible for, and any figure-reported extras (e.g. the
+/// throughput figure's `events_per_sec`).
 struct FigureRecord {
     name: &'static str,
     wall_s: f64,
-    rss_kb: Option<u64>,
+    rss_delta_kb: Option<u64>,
     extras: Vec<(String, f64)>,
 }
 
@@ -169,13 +177,14 @@ fn append_bench_record(
     scale: &Scale,
     paper: bool,
     wall: &[FigureRecord],
+    peak_rss_kb: Option<u64>,
 ) -> Result<(), String> {
     let figures = wall
         .iter()
         .map(|fig| {
             let mut obj = format!("{{\"name\":\"{}\",\"wall_s\":{:.3}", fig.name, fig.wall_s);
-            if let Some(kb) = fig.rss_kb {
-                obj.push_str(&format!(",\"peak_rss_mb\":{:.1}", kb as f64 / 1024.0));
+            if let Some(kb) = fig.rss_delta_kb {
+                obj.push_str(&format!(",\"rss_delta_mb\":{:.1}", kb as f64 / 1024.0));
             }
             for (key, value) in &fig.extras {
                 obj.push_str(&format!(",\"{key}\":{value:.3}"));
@@ -186,8 +195,7 @@ fn append_bench_record(
         .collect::<Vec<_>>()
         .join(",");
     let total: f64 = wall.iter().map(|f| f.wall_s).sum();
-    let peak = wall.iter().filter_map(|f| f.rss_kb).max();
-    let peak_field = peak
+    let peak_field = peak_rss_kb
         .map(|kb| format!(",\"peak_rss_mb\":{:.1}", kb as f64 / 1024.0))
         .unwrap_or_default();
     let record = format!(

@@ -79,6 +79,71 @@ fn throughput_csv_is_byte_identical_across_shard_counts() {
 }
 
 #[test]
+fn heavy_figures_are_byte_identical_across_shard_and_thread_grids() {
+    // The figures ported onto the sharded event loop (and the two whose
+    // parallelism stays at the trial level) must not let the shard count
+    // or worker count leak into a single byte of CSV.
+    let heavy: [(&str, Figure); 3] = [
+        ("fig5", churn::run as Figure),
+        ("fig6", latency::run),
+        ("secure", secure_routing::run),
+    ];
+    for (name, run) in heavy {
+        let baseline = run(&Scale {
+            shards: 1,
+            ..tiny().with_threads(1)
+        })
+        .to_csv();
+        for shards in [1usize, 2, 8] {
+            for threads in [1usize, 4] {
+                let got = run(&Scale {
+                    shards,
+                    ..tiny().with_threads(threads)
+                })
+                .to_csv();
+                assert_eq!(
+                    baseline, got,
+                    "{name}: CSV diverged at --shards {shards} --threads {threads}"
+                );
+            }
+        }
+    }
+}
+
+/// The committed goldens were produced by the *pre-port* serial loops
+/// (plain `Network` replays, allocating onion path) at the quick preset.
+/// The sharded, in-place implementation must reproduce them exactly.
+/// Quick-preset figures are release-speed; under a debug profile this
+/// test is skipped rather than stalling `cargo test`.
+#[cfg_attr(
+    debug_assertions,
+    ignore = "quick-preset goldens are release-speed; run with `cargo test --release`"
+)]
+#[test]
+fn quick_preset_csvs_match_the_pre_port_goldens() {
+    let goldens: [(&str, Figure, &str); 3] = [
+        (
+            "fig5",
+            churn::run as Figure,
+            include_str!("goldens/fig5.csv"),
+        ),
+        ("fig6", latency::run, include_str!("goldens/fig6.csv")),
+        (
+            "secure",
+            secure_routing::run,
+            include_str!("goldens/secure.csv"),
+        ),
+    ];
+    for (name, run, golden) in goldens {
+        let got = run(&Scale::quick().with_threads(1)).to_csv();
+        assert_eq!(
+            golden, got,
+            "{name}: quick-preset CSV diverged from the pre-port golden"
+        );
+    }
+}
+
+#[test]
 fn oversubscribed_pools_are_still_deterministic() {
     // More workers than trials: the pool must not invent or drop work.
     let a = collusion::run(&tiny().with_threads(64)).to_csv();

@@ -7,7 +7,8 @@ The committed file is the repo's perf trajectory (every `tap-sim` run
 appends a record); the fresh file is produced by the CI run under test.
 The gate fails when any figure of the fresh run's *last* record is more
 than REGRESSION_FACTOR slower — or more than MEMORY_FACTOR heavier in
-peak RSS — than the best committed record with the same configuration
+its per-figure RSS increment (`rss_delta_mb`, the VmHWM growth the
+figure is responsible for) — than the best committed record with the same configuration
 (preset, nodes, tunnels, seed, threads). Rate-style fields run the other
 direction: a figure carrying `events_per_sec` (the throughput figure)
 must sustain at least the best committed rate / THROUGHPUT_FACTOR. Figures with no comparable
@@ -117,7 +118,7 @@ def main():
     fresh = fresh_records[-1]
     key = config_key(fresh)
     wall_baseline = best_metric(committed, key, "wall_s")
-    rss_baseline = best_metric(committed, key, "peak_rss_mb")
+    rss_baseline = best_metric(committed, key, "rss_delta_mb")
     eps_baseline = peak_metric(committed, key, "events_per_sec")
     if not wall_baseline:
         print(
@@ -159,12 +160,12 @@ def main():
         elif eps is not None:
             skipped.append((name, "no committed events_per_sec baseline at this config"))
 
-        rss = fig.get("peak_rss_mb")
+        rss = fig.get("rss_delta_mb")
         if rss is None or name not in rss_baseline:
             if rss is None:
-                skipped.append((name, "fresh record carries no peak_rss_mb"))
+                skipped.append((name, "fresh record carries no rss_delta_mb"))
             else:
-                skipped.append((name, "no committed peak_rss_mb baseline at this config"))
+                skipped.append((name, "no committed rss_delta_mb baseline at this config"))
             continue
         rss = float(rss)
         rss_base = rss_baseline[name]
