@@ -21,6 +21,8 @@ pub fn bench_scale() -> Scale {
         fault_permille: 100,
         threads: 1,
         shards: 0,
+        mp_n: 0,
+        mp_k: 0,
     }
 }
 

@@ -38,6 +38,9 @@
 //! * [`netdrive`] — timed, message-driven transit over the emulated
 //!   network: the real onion bytes as wire traffic, layer shrinkage and
 //!   NIC queueing included.
+//! * [`multipath`] — erasure-coded multipath transfer: stripe one payload
+//!   across `n` disjoint tunnels, reconstruct from any `k` fragments,
+//!   degrade explicitly when the overlay cannot supply `n` tunnels.
 //! * [`system`] — a facade wiring overlay + stores + PKI together, the API
 //!   the examples and experiments drive.
 //! * [`metrics`] — cached `tap-metrics` handles (onion layer timings,
@@ -52,6 +55,7 @@ pub mod deploy;
 pub mod manager;
 pub mod messaging;
 pub mod metrics;
+pub mod multipath;
 pub mod netdrive;
 pub mod retrieval;
 pub mod system;

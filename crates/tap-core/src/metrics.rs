@@ -30,6 +30,17 @@ use tap_metrics::{Counter, Histogram, Registry};
 /// * `core.tha.re_replications` — counter, THA anchors whose replica set
 ///   fell under `k` (takeover, partition) and was rebuilt onto the current
 ///   k-closest nodes. Each also emits a `core.tha.re_replication` event.
+/// * `core.mp.fragments_delivered` — counter, erasure-coded fragments that
+///   completed their stripe during a multipath transfer.
+/// * `core.mp.stripe_giveups` — counter, individual stripes abandoned
+///   (retry budget, broken tunnel) beneath a transfer that may still
+///   succeed from the surviving fragments.
+/// * `core.mp.laggards_cancelled` — counter, in-flight stripes whose
+///   watchdogs were cancelled because `k` other fragments already
+///   reconstructed the transfer.
+/// * `core.ec.degraded` — counter, multipath transfers that could not form
+///   the configured `n` disjoint tunnels and fell back to fewer stripes or
+///   single-path. Each also emits a `core.ec.degraded` event.
 #[derive(Clone)]
 pub struct CoreInstruments {
     registry: Registry,
@@ -48,6 +59,14 @@ pub struct CoreInstruments {
     pub tha_takeovers: Arc<Counter>,
     /// THA replica sets rebuilt after falling under `k`.
     pub tha_re_replications: Arc<Counter>,
+    /// Erasure-coded fragments delivered across all multipath transfers.
+    pub mp_fragments_delivered: Arc<Counter>,
+    /// Stripes abandoned beneath a (possibly still successful) transfer.
+    pub mp_stripe_giveups: Arc<Counter>,
+    /// Laggard stripes cancelled after `k` fragments already arrived.
+    pub mp_laggards_cancelled: Arc<Counter>,
+    /// Multipath transfers that degraded below the configured stripe count.
+    pub ec_degraded: Arc<Counter>,
 }
 
 impl CoreInstruments {
@@ -62,6 +81,10 @@ impl CoreInstruments {
             transit_giveups: registry.counter("core.transit.giveups"),
             tha_takeovers: registry.counter("core.tha.takeovers"),
             tha_re_replications: registry.counter("core.tha.re_replications"),
+            mp_fragments_delivered: registry.counter("core.mp.fragments_delivered"),
+            mp_stripe_giveups: registry.counter("core.mp.stripe_giveups"),
+            mp_laggards_cancelled: registry.counter("core.mp.laggards_cancelled"),
+            ec_degraded: registry.counter("core.ec.degraded"),
         }
     }
 
@@ -89,6 +112,19 @@ impl CoreInstruments {
             0,
             "core.tha.re_replication",
             format!("hopid={hopid:?} holders={holders_now}"),
+        );
+    }
+
+    /// Record a multipath transfer that could not form its configured `n`
+    /// disjoint tunnels and degraded to `got` stripes (counter + event).
+    /// Degradation is explicit policy, never a panic, so the journal names
+    /// the shortfall.
+    pub fn record_ec_degraded(&self, wanted: usize, got: usize) {
+        self.ec_degraded.inc();
+        self.registry.emit(
+            0,
+            "core.ec.degraded",
+            format!("wanted={wanted} stripes, formed {got}"),
         );
     }
 }

@@ -56,6 +56,80 @@ pub struct TimedReport {
     pub hops_resolved: usize,
 }
 
+/// Accounting for one erasure-coded multipath transfer
+/// ([`NetDriver::drive_striped`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MultipathReport {
+    /// Virtual time from first send to the `need`-th fragment arriving.
+    pub elapsed: SimDuration,
+    /// Total bytes that crossed links, all stripes summed.
+    pub bytes_on_wire: u64,
+    /// Overlay hops taken across all stripes.
+    pub overlay_hops: usize,
+    /// Tunnel hops resolved across all stripes.
+    pub hops_resolved: usize,
+    /// Stripes launched.
+    pub stripes_total: usize,
+    /// Fragments that completed their tunnel.
+    pub stripes_delivered: usize,
+    /// Stripes abandoned (retry budget, broken tunnel) before completion.
+    pub stripes_failed: usize,
+    /// In-flight stripes whose watchdogs were cancelled because enough
+    /// fragments had already arrived.
+    pub laggards_cancelled: usize,
+    /// Per-hop resends across all stripes.
+    pub retries: u64,
+    /// The most stripes of this transfer any single relay carried — the
+    /// anonymity surface (a single-path transfer scores the full stripe
+    /// count on every relay).
+    pub max_stripes_per_relay: u32,
+}
+
+/// One in-flight store-and-forward chain belonging to a stripe.
+struct Segment {
+    eps: Vec<EndpointId>,
+    expect: usize,
+    attempts: u32,
+    flow: u64,
+    watchdog: TimerToken,
+    guard: TimerHandle,
+    hinted: bool,
+    wire: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StripeStatus {
+    Active,
+    Delivered,
+    Failed,
+}
+
+/// Program counter of one stripe inside [`NetDriver::drive_striped`].
+struct StripeState {
+    current: Id,
+    hop: Id,
+    /// Root the current phase-A segment is shipping toward (the THA check
+    /// on arrival must test the root the segment was routed to).
+    root: Id,
+    hint: Option<Id>,
+    onion: Option<onion::LayerBuf>,
+    /// Set once the tail hop revealed the delivery header.
+    delivering: Option<Destination>,
+    segment: Option<Segment>,
+    status: StripeStatus,
+}
+
+/// Shared mutable context threaded through the striped event loop.
+struct StripedCx<'h> {
+    from: Id,
+    options: TransitOptions,
+    hints: Option<&'h mut HintCache>,
+    /// node -> bitmask of stripes whose fragments crossed it.
+    seen: IdHashMap<u64>,
+    report: MultipathReport,
+    delivered: Vec<(usize, Vec<u8>)>,
+}
+
 impl<L: LatencyModel> NetDriver<L> {
     /// Wrap a network; endpoints are registered lazily per node.
     pub fn new(net: Network<u64, L>) -> Self {
@@ -383,6 +457,368 @@ impl<L: LatencyModel> NetDriver<L> {
                     ));
                 }
             }
+        }
+    }
+
+    /// Drive `stripes` — one `(entry hopid, onion)` per disjoint tunnel —
+    /// through the wire *concurrently*, returning as soon as any `need`
+    /// fragment cores have been delivered.
+    ///
+    /// This is the erasure-coded multipath transfer: one event loop
+    /// interleaves every stripe's store-and-forward chain, so stripes
+    /// genuinely race on virtual time instead of running back-to-back.
+    /// Each wire segment keeps the single-path machinery — per-hop
+    /// watchdog, exponential backoff, flow-tagged duplicate rejection, §5
+    /// hint demotion on a timed-out direct attempt — but a stripe
+    /// exhausting its retry budget only fails *that stripe*; the transfer
+    /// survives while `need` fragments can still arrive.
+    ///
+    /// On success the laggard stripes' pending watchdogs are cancelled
+    /// through their [`TimerHandle`]s (spent timers must not fire into
+    /// later drains or inflate `netsim.timer_lag_us`), and the in-flight
+    /// messages they leave behind are inert: their flow tags match no
+    /// future chain.
+    ///
+    /// The exactly-one-delivery-or-give-up invariant holds per *transfer*:
+    /// `Ok` delivers exactly once, and every `Err` increments
+    /// `core.transit.giveups` exactly once, with per-stripe accounting
+    /// (`core.mp.stripe_giveups`) beneath it.
+    ///
+    /// Returns the delivered `(stripe index, core)` pairs — at least
+    /// `need` of them — plus a [`MultipathReport`].
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
+    pub fn drive_striped(
+        &mut self,
+        overlay: &mut impl KeyRouter,
+        thas: &ReplicaStore<Tha>,
+        from: Id,
+        stripes: Vec<(Id, Vec<u8>)>,
+        need: usize,
+        options: TransitOptions,
+        hints: Option<&mut HintCache>,
+    ) -> Result<(Vec<(usize, Vec<u8>)>, MultipathReport), TransitError> {
+        assert!(need >= 1, "a transfer needs at least one fragment");
+        assert!(stripes.len() <= 64, "stripe bitmasks are u64");
+        let start = self.net.now();
+        let mut cx = StripedCx {
+            from,
+            options,
+            hints,
+            seen: IdHashMap::default(),
+            report: MultipathReport {
+                stripes_total: stripes.len(),
+                ..MultipathReport::default()
+            },
+            delivered: Vec::with_capacity(need),
+        };
+        let mut states: Vec<StripeState> = stripes
+            .into_iter()
+            .map(|(entry_hop, onion_bytes)| StripeState {
+                current: from,
+                hop: entry_hop,
+                root: from,
+                hint: None,
+                onion: Some(onion::LayerBuf::from_vec(onion_bytes)),
+                delivering: None,
+                segment: None,
+                status: StripeStatus::Active,
+            })
+            .collect();
+
+        for (si, state) in states.iter_mut().enumerate() {
+            self.stripe_launch(overlay, thas, si, state, &mut cx);
+        }
+
+        loop {
+            if cx.delivered.len() >= need {
+                break;
+            }
+            let active = states
+                .iter()
+                .filter(|s| s.status == StripeStatus::Active)
+                .count();
+            if cx.delivered.len() + active < need {
+                // Hopeless: more stripes are dead than the code tolerates.
+                // Retire the survivors' watchdogs and give up the transfer
+                // — exactly once, per the transfer-level invariant.
+                for s in &mut states {
+                    if let Some(seg) = s.segment.take() {
+                        self.net.cancel_timer(seg.guard);
+                    }
+                }
+                if let Some(ins) = &self.instruments {
+                    ins.transit_giveups.inc();
+                }
+                return Err(TransitError::StripesExhausted {
+                    delivered: cx.delivered.len(),
+                    need,
+                });
+            }
+            let Some(ev) = self.net.next_event() else {
+                unreachable!("an active stripe keeps a watchdog armed and the queue non-empty")
+            };
+            match ev {
+                Event::Message(m) => {
+                    let flow = m.payload >> 16;
+                    let idx = (m.payload & 0xFFFF) as usize;
+                    let Some(si) = states
+                        .iter()
+                        .position(|s| s.segment.as_ref().map(|g| g.flow) == Some(flow))
+                    else {
+                        continue; // leftover of a finished stripe or earlier chain
+                    };
+                    let s = &mut states[si];
+                    let seg = s.segment.as_mut().expect("position matched on segment");
+                    if idx != seg.expect {
+                        continue; // duplicate of an already-advanced hop
+                    }
+                    if idx + 1 < seg.eps.len() {
+                        // Store-and-forward: advance the chain one hop.
+                        seg.expect += 1;
+                        seg.attempts = 0;
+                        self.net.cancel_timer(seg.guard);
+                        let (watchdog, guard) = self.arm_watchdog(seg.wire, 0);
+                        let seg = s.segment.as_mut().expect("still armed");
+                        seg.watchdog = watchdog;
+                        seg.guard = guard;
+                        let (src, dst) = (seg.eps[seg.expect - 1], seg.eps[seg.expect]);
+                        let (wire, tag) = (seg.wire, (seg.flow << 16) | seg.expect as u64);
+                        self.net.send(src, dst, wire, tag);
+                        continue;
+                    }
+                    // Segment complete.
+                    let seg = s.segment.take().expect("matched above");
+                    self.net.cancel_timer(seg.guard);
+                    cx.report.overlay_hops += seg.eps.len() - 1;
+                    cx.report.bytes_on_wire += seg.wire * (seg.eps.len() - 1) as u64;
+                    if s.delivering.is_some() {
+                        self.stripe_finish(si, s, &mut cx);
+                    } else if self.stripe_arrive(thas, s, &mut cx) {
+                        self.stripe_launch(overlay, thas, si, s, &mut cx);
+                    }
+                }
+                Event::Timer { token, .. } => {
+                    let Some(si) = states
+                        .iter()
+                        .position(|s| s.segment.as_ref().map(|g| g.watchdog) == Some(token))
+                    else {
+                        continue; // foreign timer sharing the network
+                    };
+                    let s = &mut states[si];
+                    let seg = s.segment.as_mut().expect("position matched on segment");
+                    if seg.attempts >= options.retry_budget {
+                        let seg = s.segment.take().expect("matched above");
+                        if seg.hinted {
+                            // §5: the direct attempt timed out — demote the
+                            // stale hint, re-route this segment via overlay.
+                            if let Some(cache) = cx.hints.as_deref_mut() {
+                                cache.demote(s.hop);
+                            }
+                            if let Some(ins) = &self.instruments {
+                                ins.transit_retries.inc();
+                            }
+                            s.hint = None;
+                            self.stripe_launch(overlay, thas, si, s, &mut cx);
+                        } else {
+                            self.stripe_fail(s, &mut cx);
+                        }
+                    } else {
+                        if let Some(ins) = &self.instruments {
+                            ins.transit_retries.inc();
+                            ins.transit_backoff_us
+                                .record(Self::resend_timeout(seg.wire, seg.attempts).as_micros());
+                        }
+                        cx.report.retries += 1;
+                        seg.attempts += 1;
+                        let (watchdog, guard) = self.arm_watchdog(seg.wire, seg.attempts);
+                        let seg = s.segment.as_mut().expect("still armed");
+                        seg.watchdog = watchdog;
+                        seg.guard = guard;
+                        let (src, dst) = (seg.eps[seg.expect - 1], seg.eps[seg.expect]);
+                        let (wire, tag) = (seg.wire, (seg.flow << 16) | seg.expect as u64);
+                        self.net.send(src, dst, wire, tag);
+                    }
+                }
+            }
+        }
+
+        // Success: retire the laggards' watchdogs through their handles so
+        // spent timers never fire into a later drain.
+        for s in &mut states {
+            if let Some(seg) = s.segment.take() {
+                self.net.cancel_timer(seg.guard);
+                cx.report.laggards_cancelled += 1;
+                if let Some(ins) = &self.instruments {
+                    ins.mp_laggards_cancelled.inc();
+                }
+            }
+        }
+        cx.report.elapsed = self.net.now() - start;
+        cx.report.max_stripes_per_relay = cx
+            .seen
+            .values()
+            .map(|mask| mask.count_ones())
+            .max()
+            .unwrap_or(0);
+        Ok((cx.delivered, cx.report))
+    }
+
+    /// Decide and launch the next wire segment for stripe `si`, looping
+    /// through zero-length segments (the onion already sits on the target
+    /// node) until real wire traffic starts or the stripe terminates.
+    fn stripe_launch(
+        &mut self,
+        overlay: &mut impl KeyRouter,
+        thas: &ReplicaStore<Tha>,
+        si: usize,
+        s: &mut StripeState,
+        cx: &mut StripedCx<'_>,
+    ) {
+        loop {
+            let (path, hinted) = if let Some(dest) = &s.delivering {
+                let path = match dest {
+                    Destination::Node(n) => {
+                        if !overlay.is_live(*n) {
+                            return self.stripe_fail(s, cx);
+                        }
+                        vec![s.current, *n]
+                    }
+                    Destination::KeyRoot(key) => match overlay.route_path(s.current, *key) {
+                        Ok(p) => p,
+                        Err(_) => return self.stripe_fail(s, cx),
+                    },
+                };
+                (path, false)
+            } else {
+                let Some(root) = overlay.owner_of(s.hop) else {
+                    return self.stripe_fail(s, cx);
+                };
+                s.root = root;
+                let hinted_target = match (cx.options.use_hints, s.hint) {
+                    (true, Some(h)) if h != s.current => Some(h),
+                    _ => None,
+                };
+                match hinted_target {
+                    Some(h) => (vec![s.current, h], true),
+                    None => match overlay.route_path(s.current, s.hop) {
+                        Ok(p) => (p, false),
+                        Err(_) => return self.stripe_fail(s, cx),
+                    },
+                }
+            };
+            // Anonymity-surface accounting: every relay that stores or
+            // forwards this fragment sees stripe `si`. The initiator and
+            // the final destination see all fragments by design.
+            let to_dest = s.delivering.is_some();
+            for (pi, node) in path.iter().enumerate() {
+                if *node == cx.from || (to_dest && pi + 1 == path.len()) {
+                    continue;
+                }
+                *cx.seen.entry(*node).or_insert(0) |= 1u64 << (si as u32 & 63);
+            }
+            let wire = s.onion.as_ref().map_or(0, |o| o.len()) as u64;
+            let mut eps = Vec::with_capacity(path.len());
+            for n in &path {
+                let e = self.endpoint(*n);
+                if eps.last() != Some(&e) {
+                    eps.push(e);
+                }
+            }
+            if eps.len() >= 2 {
+                self.flow_seq += 1;
+                let flow = self.flow_seq;
+                debug_assert!(eps.len() < (1 << 16), "hop index fits the low bits");
+                let (watchdog, guard) = self.arm_watchdog(wire, 0);
+                self.net.send(eps[0], eps[1], wire, (flow << 16) | 1);
+                s.segment = Some(Segment {
+                    eps,
+                    expect: 1,
+                    attempts: 0,
+                    flow,
+                    watchdog,
+                    guard,
+                    hinted,
+                    wire,
+                });
+                return;
+            }
+            // Zero-length segment: the onion is already where it needs to
+            // be. Complete the phase immediately and keep going.
+            if to_dest {
+                return self.stripe_finish(si, s, cx);
+            }
+            if !self.stripe_arrive(thas, s, cx) {
+                return;
+            }
+        }
+    }
+
+    /// The stripe's onion arrived at `s.root` for hop `s.hop`: run the THA
+    /// check, peel one layer, follow the header. Returns whether the
+    /// stripe should launch another segment.
+    fn stripe_arrive(
+        &mut self,
+        thas: &ReplicaStore<Tha>,
+        s: &mut StripeState,
+        cx: &mut StripedCx<'_>,
+    ) -> bool {
+        // A fragment landing at an anchorless root cannot be delivered —
+        // that terminal only makes sense for reply tunnels, not stripes.
+        let Some(record) = thas.get(s.hop) else {
+            self.stripe_fail(s, cx);
+            return false;
+        };
+        if !record.holders.contains(&s.root) {
+            self.stripe_fail(s, cx);
+            return false;
+        }
+        s.current = s.root;
+        let onion = s.onion.as_mut().expect("active stripe owns its onion");
+        let Ok(header_bytes) = onion.peel(&record.value.key) else {
+            self.stripe_fail(s, cx);
+            return false;
+        };
+        let Ok(header) = HopHeader::decode(header_bytes) else {
+            self.stripe_fail(s, cx);
+            return false;
+        };
+        cx.report.hops_resolved += 1;
+        match header {
+            HopHeader::Forward {
+                next_hop,
+                hint: next_hint,
+            } => {
+                s.hop = next_hop;
+                s.hint = next_hint;
+            }
+            HopHeader::Deliver { dest } => s.delivering = Some(dest),
+        }
+        true
+    }
+
+    /// The stripe's delivery leg completed: hand over the fragment core.
+    fn stripe_finish(&mut self, si: usize, s: &mut StripeState, cx: &mut StripedCx<'_>) {
+        let core = s
+            .onion
+            .take()
+            .expect("active stripe owns its onion")
+            .into_vec();
+        s.status = StripeStatus::Delivered;
+        cx.report.stripes_delivered += 1;
+        if let Some(ins) = &self.instruments {
+            ins.mp_fragments_delivered.inc();
+        }
+        cx.delivered.push((si, core));
+    }
+
+    /// Abandon one stripe (broken tunnel, dead destination, exhausted
+    /// retries). The transfer keeps going while enough stripes survive.
+    fn stripe_fail(&mut self, s: &mut StripeState, cx: &mut StripedCx<'_>) {
+        debug_assert!(s.segment.is_none(), "fail with the watchdog retired");
+        s.status = StripeStatus::Failed;
+        cx.report.stripes_failed += 1;
+        if let Some(ins) = &self.instruments {
+            ins.mp_stripe_giveups.inc();
         }
     }
 }
@@ -759,6 +1195,201 @@ mod tests {
         if let Err(e) = result {
             assert!(matches!(e, TransitError::RetriesExhausted { .. }));
         }
+    }
+
+    /// `count` tunnels with globally distinct hopids (fresh random anchors
+    /// are distinct with overwhelming probability; assert anyway).
+    fn disjoint_tunnels(fx: &mut Fx, count: usize, l: usize) -> Vec<Tunnel> {
+        let tunnels: Vec<Tunnel> = (0..count).map(|_| tunnel(fx, l)).collect();
+        let mut all: Vec<Id> = tunnels.iter().flat_map(|t| t.hop_ids()).collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), count * l, "stripes must not share hopids");
+        tunnels
+    }
+
+    fn pick_dest(fx: &mut Fx) -> Id {
+        loop {
+            let d = fx.overlay.random_node(&mut fx.rng).unwrap();
+            if d != fx.initiator {
+                break d;
+            }
+        }
+    }
+
+    #[test]
+    fn striped_transfer_delivers_every_fragment() {
+        let mut fx = fixture(250, 21);
+        let tunnels = disjoint_tunnels(&mut fx, 3, 3);
+        let dest = pick_dest(&mut fx);
+        let cores: Vec<Vec<u8>> = (0..3u8).map(|i| vec![b'f', i, i, i]).collect();
+        let stripes: Vec<(Id, Vec<u8>)> = tunnels
+            .iter()
+            .zip(&cores)
+            .map(|(t, core)| {
+                (
+                    t.entry_hopid(),
+                    t.build_onion(&mut fx.rng, Destination::Node(dest), core, None),
+                )
+            })
+            .collect();
+        let (delivered, report) = fx
+            .driver
+            .drive_striped(
+                &mut fx.overlay,
+                &fx.thas,
+                fx.initiator,
+                stripes,
+                3,
+                TransitOptions::default(),
+                None,
+            )
+            .unwrap();
+        assert_eq!(delivered.len(), 3);
+        for (si, core) in &delivered {
+            assert_eq!(core, &cores[*si], "stripe {si} core intact");
+        }
+        assert_eq!(report.stripes_delivered, 3);
+        assert_eq!(report.stripes_failed, 0);
+        assert_eq!(report.laggards_cancelled, 0);
+        assert_eq!(report.hops_resolved, 9, "three 3-hop tunnels");
+        assert!(report.elapsed > SimDuration::ZERO);
+        // Disjoint hopids keep any one relay under the full stripe count
+        // most of the time; it can never exceed it.
+        assert!(report.max_stripes_per_relay <= 3);
+    }
+
+    #[test]
+    fn striped_transfer_survives_k_of_n_and_cancels_laggards() {
+        let mut fx = fixture(250, 22);
+        let tunnels = disjoint_tunnels(&mut fx, 3, 3);
+        let dest = pick_dest(&mut fx);
+        let registry = tap_metrics::Registry::new();
+        fx.driver
+            .use_instruments(crate::metrics::CoreInstruments::new(&registry));
+        // Black-hole stripe 0 at the wire: its entry root is overlay-live
+        // but crashed, so the stripe sits in watchdog backoff while the
+        // other two race ahead.
+        let stalled_root = fx.overlay.owner_of(tunnels[0].entry_hopid()).unwrap();
+        assert_ne!(stalled_root, fx.initiator, "seed keeps the root remote");
+        fx.driver.kill_node(stalled_root);
+        let stripes: Vec<(Id, Vec<u8>)> = tunnels
+            .iter()
+            .map(|t| {
+                (
+                    t.entry_hopid(),
+                    t.build_onion(&mut fx.rng, Destination::Node(dest), b"frag", None),
+                )
+            })
+            .collect();
+        let (delivered, report) = fx
+            .driver
+            .drive_striped(
+                &mut fx.overlay,
+                &fx.thas,
+                fx.initiator,
+                stripes,
+                2,
+                TransitOptions {
+                    retry_budget: 10,
+                    ..TransitOptions::default()
+                },
+                None,
+            )
+            .unwrap();
+        assert_eq!(delivered.len(), 2);
+        assert!(
+            delivered.iter().all(|(si, _)| *si != 0),
+            "the stalled stripe cannot have delivered"
+        );
+        assert_eq!(
+            report.laggards_cancelled, 1,
+            "stripe 0 cancelled mid-backoff"
+        );
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("core.mp.fragments_delivered"), 2);
+        assert_eq!(snap.counter("core.mp.laggards_cancelled"), 1);
+        assert_eq!(
+            snap.counter("core.transit.giveups"),
+            0,
+            "the transfer delivered"
+        );
+        // Satellite invariant: the laggard's watchdog was cancelled via its
+        // handle, so draining the network surfaces NO timer events — spent
+        // timers must not fire into later chains or skew timer histograms.
+        let mut stray_timers = 0u32;
+        fx.driver.network_mut().run_until_quiet(|_, ev| {
+            if matches!(ev, Event::Timer { .. }) {
+                stray_timers += 1;
+            }
+        });
+        assert_eq!(
+            stray_timers, 0,
+            "no spent watchdog may outlive the transfer"
+        );
+    }
+
+    #[test]
+    fn striped_transfer_gives_up_exactly_once_when_hopeless() {
+        let mut fx = fixture(250, 23);
+        let tunnels = disjoint_tunnels(&mut fx, 3, 3);
+        let dest = pick_dest(&mut fx);
+        let registry = tap_metrics::Registry::new();
+        fx.driver
+            .use_instruments(crate::metrics::CoreInstruments::new(&registry));
+        // Kill two of three entry roots: at most one fragment can arrive,
+        // and need = 2 becomes unsatisfiable.
+        for t in &tunnels[..2] {
+            let root = fx.overlay.owner_of(t.entry_hopid()).unwrap();
+            assert_ne!(root, fx.initiator);
+            fx.driver.kill_node(root);
+        }
+        let stripes: Vec<(Id, Vec<u8>)> = tunnels
+            .iter()
+            .map(|t| {
+                (
+                    t.entry_hopid(),
+                    t.build_onion(&mut fx.rng, Destination::Node(dest), b"frag", None),
+                )
+            })
+            .collect();
+        let err = fx
+            .driver
+            .drive_striped(
+                &mut fx.overlay,
+                &fx.thas,
+                fx.initiator,
+                stripes,
+                2,
+                TransitOptions {
+                    retry_budget: 1,
+                    ..TransitOptions::default()
+                },
+                None,
+            )
+            .unwrap_err();
+        match err {
+            TransitError::StripesExhausted { delivered, need } => {
+                assert!(delivered < 2);
+                assert_eq!(need, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("core.transit.giveups"),
+            1,
+            "delivered XOR gave-up, exactly once per transfer"
+        );
+        assert_eq!(snap.counter("core.mp.stripe_giveups"), 2);
+        // No watchdog survives the give-up either.
+        let mut stray_timers = 0u32;
+        fx.driver.network_mut().run_until_quiet(|_, ev| {
+            if matches!(ev, Event::Timer { .. }) {
+                stray_timers += 1;
+            }
+        });
+        assert_eq!(stray_timers, 0);
     }
 
     #[test]

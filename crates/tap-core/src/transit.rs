@@ -107,6 +107,14 @@ pub enum TransitError {
         /// Send attempts made (first try plus retries).
         attempts: u32,
     },
+    /// A multipath transfer lost more stripes than its erasure code
+    /// tolerates: fewer than `need` fragments can still arrive.
+    StripesExhausted {
+        /// Fragments that did arrive before the transfer became hopeless.
+        delivered: usize,
+        /// Fragments the erasure code requires.
+        need: usize,
+    },
 }
 
 impl std::fmt::Display for TransitError {
@@ -124,6 +132,13 @@ impl std::fmt::Display for TransitError {
             }
             TransitError::RetriesExhausted { hopid, attempts } => {
                 write!(f, "gave up on hop {hopid:?} after {attempts} send attempts")
+            }
+            TransitError::StripesExhausted { delivered, need } => {
+                write!(
+                    f,
+                    "multipath transfer dead: {delivered} fragments delivered, {need} needed, \
+                     too few stripes left"
+                )
             }
         }
     }

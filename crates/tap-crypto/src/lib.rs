@@ -26,7 +26,10 @@
 //! | puzzles | [`puzzle`] hashcash-style partial preimage | self-checking |
 //!
 //! [`onion`] builds the layered (onion) encoding used by both TAP tunnels
-//! and the Onion-Routing bootstrap path on top of [`cipher`].
+//! and the Onion-Routing bootstrap path on top of [`cipher`]. [`ec`] adds a
+//! zero-dependency GF(2^8) Reed–Solomon codec so `tap-core` can stripe one
+//! transfer across `n` parallel tunnels and reconstruct from any `k`
+//! fragments (erasure-coded multipath transfer).
 //!
 //! Everything here is deterministic given an RNG, `#![forbid(unsafe_code)]`,
 //! and allocation-conscious: the per-hop operation on the tunnel hot path is
@@ -39,6 +42,7 @@
 
 pub mod chacha20;
 pub mod cipher;
+pub mod ec;
 pub mod hmac;
 pub mod onion;
 pub mod pki;

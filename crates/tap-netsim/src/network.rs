@@ -152,14 +152,19 @@ enum Pending<M> {
 pub struct Livelock {
     /// Events handed to the callback before the budget was exhausted.
     pub events_processed: u64,
+    /// Virtual time when the budget ran out. Together with
+    /// `events_processed` this makes a chaos-test failure diagnosable from
+    /// the error alone — no journal replay needed to see how far the
+    /// simulation got before it started spinning.
+    pub at: SimTime,
 }
 
 impl std::fmt::Display for Livelock {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "event budget exhausted after {} events without quiescing",
-            self.events_processed
+            "event budget exhausted after {} events at virtual time {} without quiescing",
+            self.events_processed, self.at
         )
     }
 }
@@ -663,6 +668,7 @@ impl<M, L: LatencyModel> Network<M, L> {
                 );
                 return Err(Livelock {
                     events_processed: processed,
+                    at: self.now,
                 });
             }
         }
@@ -1074,7 +1080,12 @@ mod tests {
             })
             .unwrap_err();
         assert_eq!(err.events_processed, 100);
+        assert!(err.at > SimTime::ZERO, "livelock carries the virtual time");
         assert!(err.to_string().contains("100 events"));
+        assert!(
+            err.to_string().contains(&format!("{}", err.at)),
+            "virtual time appears in the message: {err}"
+        );
         let events = journal.snapshot();
         assert!(events.iter().any(|e| e.kind == "netsim.livelock"));
 

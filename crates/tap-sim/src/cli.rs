@@ -12,7 +12,8 @@ use crate::Scale;
 pub const USAGE: &str =
     "usage: tap-sim <fig2|fig3|fig4a|fig4b|fig5|fig6|secure|resilience|throughput|all> \
                          [--paper] [--seed N] [--nodes N] [--tunnels N] [--journal N] \
-                         [--faults PERMILLE] [--threads N] [--shards N] [--csv DIR]";
+                         [--faults PERMILLE] [--multipath N/K] [--threads N] [--shards N] \
+                         [--csv DIR]";
 
 /// The figure names the binary accepts (plus the pseudo-figure `all`).
 pub const FIGURES: [&str; 9] = [
@@ -81,6 +82,25 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                     return Err("--faults is a permille, at most 1000".into());
                 }
                 scale.fault_permille = n;
+            }
+            "--multipath" => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| "--multipath expects N/K (e.g. 5/3)".to_string())?;
+                let (n, k) = v
+                    .split_once('/')
+                    .ok_or_else(|| format!("--multipath expects N/K (e.g. 5/3), got {v:?}"))?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("--multipath N must be an unsigned integer, got {n:?}"))?;
+                let k: usize = k
+                    .parse()
+                    .map_err(|_| format!("--multipath K must be an unsigned integer, got {k:?}"))?;
+                if k == 0 || k > n || n > 64 {
+                    return Err(format!("--multipath needs 1 <= K <= N <= 64, got {n}/{k}"));
+                }
+                scale.mp_n = n;
+                scale.mp_k = k;
             }
             "--threads" => {
                 let n: usize = parse_value("--threads", iter.next())?;
@@ -199,6 +219,42 @@ mod tests {
         let b = parse_line("resilience --paper --faults 80").unwrap();
         assert_eq!(a, b);
         assert_eq!(a.scale.fault_permille, 80);
+    }
+
+    #[test]
+    fn multipath_flag_parses_n_slash_k() {
+        let cli = parse_line("resilience --multipath 5/3").unwrap();
+        assert_eq!(cli.scale.mp_n, 5);
+        assert_eq!(cli.scale.mp_k, 3);
+
+        let off = parse_line("resilience").unwrap();
+        assert_eq!(off.scale.mp_n, 0, "default is single-path mode");
+        assert_eq!(off.scale.mp_k, 0);
+
+        assert!(parse_line("resilience --multipath")
+            .unwrap_err()
+            .contains("N/K"));
+        assert!(parse_line("resilience --multipath 5")
+            .unwrap_err()
+            .contains("N/K"));
+        assert!(parse_line("resilience --multipath x/3")
+            .unwrap_err()
+            .contains("unsigned integer"));
+        assert!(parse_line("resilience --multipath 3/5")
+            .unwrap_err()
+            .contains("1 <= K <= N"));
+        assert!(parse_line("resilience --multipath 5/0")
+            .unwrap_err()
+            .contains("1 <= K <= N"));
+        assert!(parse_line("resilience --multipath 65/3")
+            .unwrap_err()
+            .contains("1 <= K <= N"));
+
+        // Order-independence extends to the new flag.
+        let a = parse_line("resilience --multipath 4/2 --paper").unwrap();
+        let b = parse_line("resilience --paper --multipath 4/2").unwrap();
+        assert_eq!(a, b);
+        assert_eq!((a.scale.mp_n, a.scale.mp_k), (4, 2));
     }
 
     #[test]

@@ -17,11 +17,26 @@
 //! its own RNG substream) and each (loss, sim) pair is an independent
 //! trial on the figure's [`TrialPool`], so the emitted CSV is
 //! byte-identical at any `--threads N`.
+//!
+//! **Multipath mode** (`--multipath N/K`, i.e. [`Scale::mp_n`] > 0)
+//! switches the figure to a head-to-head comparison at each loss level:
+//! the same ~9 KB payload shipped once per transfer as a single-path
+//! hinted tunnel transfer with the retry shim (`sp_*` columns) and once as
+//! an erasure-coded `(n, k)` stripe set over `n` disjoint tunnels
+//! ([`tap_core::multipath::send_striped`], `mp_*` columns). Both phases
+//! run under the same fault-plan seed and the same partition/crash window,
+//! so every row answers "at this fault level, what did coding buy?":
+//! delivered fraction, p99 transfer latency, resends per transfer, and the
+//! per-relay exposure (the largest fraction of one transfer's stripes any
+//! single relay carried — 1.0 for single-path by construction). With
+//! `mp_n = 0` (the default) this mode is fully off and the classic CSV is
+//! byte-identical to previous releases.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use tap_core::metrics::CoreInstruments;
+use tap_core::multipath::{form_disjoint_tunnels, send_striped, MultipathConfig, MultipathError};
 use tap_core::netdrive::NetDriver;
 use tap_core::tha::{Tha, ThaFactory};
 use tap_core::transit::{HintCache, TransitError, TransitOptions};
@@ -53,8 +68,27 @@ pub fn loss_points(center: u32) -> Vec<u32> {
     pts
 }
 
+/// Payload shipped per transfer in multipath mode, for both the
+/// single-path and the coded phase: three default erasure-code chunks, so
+/// a 5/3 stripe set carries ~payload/3 per tunnel.
+const MP_PAYLOAD_LEN: usize = 9216;
+
+/// Scatter prefix digits for [`form_disjoint_tunnels`] (Pastry b = 4).
+const SCATTER_B: u32 = 4;
+
 /// Run the sweep at `scale` (`fault_permille` is the center point).
+/// `mp_n = 0` runs the classic single-path sweep; `mp_n > 0` runs the
+/// coded-multipath-vs-single-path comparison.
 pub fn run(scale: &Scale) -> Series {
+    if scale.mp_n > 0 {
+        run_multipath(scale)
+    } else {
+        run_classic(scale)
+    }
+}
+
+/// The classic sweep: single-path transfers only, the original column set.
+fn run_classic(scale: &Scale) -> Series {
     let metrics = Registry::new();
     super::apply_journal(&metrics, scale);
     let mut series = Series::new(
@@ -139,72 +173,31 @@ fn simulate_one(
     rng: &mut StdRng,
     metrics: &Registry,
 ) -> usize {
-    let mut overlay = base.clone();
-    overlay.use_metrics(metrics.clone());
-    let mut net: Network<u64, UniformLatency> = Network::new(
-        NetworkConfig::paper_defaults(),
-        UniformLatency::paper(seed ^ 0x1a7e),
-    );
-    net.use_metrics(metrics.clone());
-    let mut driver = NetDriver::new(net);
-    driver.use_instruments(CoreInstruments::new(metrics));
-
-    let eps: Vec<EndpointId> = nodes.iter().map(|&id| driver.register(id)).collect();
-    let mut thas: ReplicaStore<Tha> = ReplicaStore::new(3);
-    thas.use_metrics(metrics.clone());
-
-    // loss = 0 is the clean control row: no faults of any kind.
-    if loss > 0 {
-        driver.network_mut().install_faults(
-            FaultPlan::new(seed)
-                .with_loss(loss)
-                .with_duplication(loss / 5)
-                .with_jitter(SimDuration::from_millis(50))
-                .with_spike(loss / 10, SimDuration::from_millis(500)),
-        );
-    }
-
-    // The chaos window covers the middle third of the run: a named cut
-    // isolating every 20th endpoint, plus every 50th node crashed on the
-    // wire (overlay-live — the split-brain the hint fallback handles).
-    let cut_a: Vec<EndpointId> = eps.iter().copied().step_by(20).collect();
-    let cut_b: Vec<EndpointId> = eps
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| i % 20 != 0)
-        .map(|(_, e)| *e)
-        .collect();
-    let crashed: Vec<Id> = nodes.iter().copied().skip(7).step_by(50).collect();
-    let window = (transfers / 3, 2 * transfers / 3);
-
-    let mut delivered = 0usize;
-    for t in 0..transfers {
-        if loss > 0 && t == window.0 {
-            driver.network_mut().partition("sweep-cut", &cut_a, &cut_b);
-            for &id in &crashed {
-                driver.kill_node(id);
-            }
-        }
-        if loss > 0 && t == window.1 {
-            driver.network_mut().heal("sweep-cut");
-            for &id in &crashed {
-                driver.revive_node(id);
-            }
-        }
-        if transfer_once(&mut overlay, &mut thas, &mut driver, rng) {
-            delivered += 1;
-        }
-    }
-    delivered
+    chaos_phase(
+        base,
+        nodes,
+        transfers,
+        loss,
+        seed,
+        metrics,
+        rng,
+        |overlay, thas, driver, rng| {
+            transfer_once(overlay, thas, driver, rng, b"payload")
+                .map(|elapsed| (elapsed.as_micros(), 1.0))
+        },
+    )
+    .delivered
 }
 
-/// One hinted tunnel transfer between random nodes; true iff it delivered.
+/// One hinted tunnel transfer of `core` between random nodes;
+/// `Some(elapsed)` iff it delivered.
 fn transfer_once(
     overlay: &mut Overlay,
     thas: &mut ReplicaStore<Tha>,
     driver: &mut NetDriver<UniformLatency>,
     rng: &mut StdRng,
-) -> bool {
+    core: &[u8],
+) -> Option<SimDuration> {
     let initiator = overlay.random_node(rng).expect("non-empty overlay");
     let mut factory = ThaFactory::new(rng, initiator);
     let mut hops = Vec::with_capacity(TUNNEL_LENGTH);
@@ -227,7 +220,7 @@ fn transfer_once(
             break d;
         }
     };
-    let onion = tunnel.build_onion(rng, Destination::Node(dest), b"payload", Some(&hints));
+    let onion = tunnel.build_onion(rng, Destination::Node(dest), core, Some(&hints));
     let outcome = driver.drive_timed_with_hints(
         overlay,
         thas,
@@ -245,11 +238,319 @@ fn transfer_once(
         thas.remove(hopid);
     }
     match outcome {
-        Ok(_) => true,
-        Err(TransitError::RetriesExhausted { .. }) => false,
+        Ok((_, report)) => Some(report.elapsed),
+        Err(TransitError::RetriesExhausted { .. }) => None,
         // The overlay itself never changes, so any other transit error
         // would be a harness bug, not an injected fault.
         Err(e) => panic!("unexpected transit failure under faults: {e:?}"),
+    }
+}
+
+/// What one phase (single-path or multipath) of one trial delivered.
+#[derive(Default)]
+struct PhaseStats {
+    delivered: usize,
+    /// Virtual elapsed time of each delivered transfer, microseconds.
+    latencies_us: Vec<u64>,
+    /// Summed per-relay exposure of delivered transfers (largest fraction
+    /// of one transfer's stripes carried by any single relay).
+    exposure_sum: f64,
+}
+
+/// The comparison sweep: each trial runs the *same* transfer schedule
+/// twice under the same fault seed — single-path retry vs. coded
+/// `(n, k)` multipath — and each row reports both column families.
+fn run_multipath(scale: &Scale) -> Series {
+    let n = scale.mp_n;
+    let k = scale.mp_k.clamp(1, n);
+    let metrics = Registry::new();
+    super::apply_journal(&metrics, scale);
+    let mut series = Series::new(
+        format!(
+            "Resilience — coded {n}/{k} multipath vs. single-path retry \
+             vs. injected per-link loss (permille)"
+        ),
+        "loss_permille",
+        vec![
+            "sp_delivered_frac".into(),
+            "sp_p99_ms".into(),
+            "sp_retries_per_xfer".into(),
+            "sp_relay_exposure".into(),
+            "mp_delivered_frac".into(),
+            "mp_p99_ms".into(),
+            "mp_retries_per_xfer".into(),
+            "mp_relay_exposure".into(),
+        ],
+    );
+
+    // Same shared base overlay trick as the classic sweep.
+    let mut base_rng = StdRng::seed_from_u64(substream_seed(scale.seed, "resilience-base", 0));
+    let mut base = Overlay::new(PastryConfig::paper_defaults());
+    base.use_metrics(metrics.clone());
+    let nodes: Vec<Id> = (0..scale.nodes)
+        .map(|_| base.add_random_node(&mut base_rng))
+        .collect();
+
+    let points = loss_points(scale.fault_permille);
+    let sims = scale.latency_sims.max(1);
+    let transfers = scale.latency_transfers.max(1);
+    let trials: Vec<(u32, usize)> = points
+        .iter()
+        .flat_map(|&loss| (0..sims).map(move |sim| (loss, sim)))
+        .collect();
+    let pool = TrialPool::new(scale, "resilience-mp");
+    let results = pool.run(trials, |idx, &(loss, _sim), rng| {
+        let sp_metrics = Registry::new();
+        let mp_metrics = Registry::new();
+        super::apply_journal(&sp_metrics, scale);
+        super::apply_journal(&mp_metrics, scale);
+        let seed = pool.trial_seed(idx);
+        let payload: Vec<u8> = (0..MP_PAYLOAD_LEN).map(|i| (i * 131 + 7) as u8).collect();
+        let sp = chaos_phase(
+            &base,
+            &nodes,
+            transfers,
+            loss,
+            seed,
+            &sp_metrics,
+            rng,
+            |overlay, thas, driver, rng| {
+                transfer_once(overlay, thas, driver, rng, &payload)
+                    .map(|elapsed| (elapsed.as_micros(), 1.0))
+            },
+        );
+        let mp_ins = CoreInstruments::new(&mp_metrics);
+        let mp = chaos_phase(
+            &base,
+            &nodes,
+            transfers,
+            loss,
+            seed,
+            &mp_metrics,
+            rng,
+            |overlay, thas, driver, rng| {
+                mp_transfer_once(overlay, thas, driver, rng, &payload, n, k, &mp_ins)
+            },
+        );
+        (sp, sp_metrics, mp, mp_metrics)
+    });
+
+    let mut results = results.into_iter();
+    for &loss in &points {
+        let mut sp = PhaseStats::default();
+        let mut mp = PhaseStats::default();
+        let sp_point = Registry::new();
+        let mp_point = Registry::new();
+        for _ in 0..sims {
+            let (s, s_reg, m, m_reg) = results.next().expect("one trial per (loss, sim)");
+            sp.delivered += s.delivered;
+            sp.latencies_us.extend(s.latencies_us);
+            sp.exposure_sum += s.exposure_sum;
+            mp.delivered += m.delivered;
+            mp.latencies_us.extend(m.latencies_us);
+            mp.exposure_sum += m.exposure_sum;
+            sp_point.merge(&s_reg);
+            mp_point.merge(&m_reg);
+            metrics.merge(&s_reg);
+            metrics.merge(&m_reg);
+        }
+        let denom = (sims * transfers) as f64;
+        let expo = |p: &PhaseStats| {
+            if p.delivered > 0 {
+                p.exposure_sum / p.delivered as f64
+            } else {
+                0.0
+            }
+        };
+        let values = vec![
+            sp.delivered as f64 / denom,
+            p99_ms(&mut sp.latencies_us),
+            sp_point.snapshot().counter("core.transit.retries") as f64 / denom,
+            expo(&sp),
+            mp.delivered as f64 / denom,
+            p99_ms(&mut mp.latencies_us),
+            mp_point.snapshot().counter("core.transit.retries") as f64 / denom,
+            expo(&mp),
+        ];
+        if loss == scale.fault_permille && loss > 0 {
+            // The gate-worthy numbers at the sweep's reference fault level.
+            series
+                .bench_extras
+                .push(("sp_delivered_frac".into(), values[0]));
+            series.bench_extras.push(("sp_p99_ms".into(), values[1]));
+            series
+                .bench_extras
+                .push(("mp_delivered_frac".into(), values[4]));
+            series.bench_extras.push(("mp_p99_ms".into(), values[5]));
+        }
+        series.push(f64::from(loss), values);
+    }
+    series.metrics_json = Some(metrics.snapshot().to_json());
+    series
+}
+
+/// p99 of `lat` (microseconds) in milliseconds; 0 when nothing delivered.
+fn p99_ms(lat_us: &mut [u64]) -> f64 {
+    if lat_us.is_empty() {
+        return 0.0;
+    }
+    lat_us.sort_unstable();
+    let idx = (lat_us.len() * 99).div_ceil(100) - 1;
+    lat_us[idx] as f64 / 1000.0
+}
+
+/// One phase of a comparison trial: the classic sweep's scaffold (clean
+/// overlay clone, fresh wire, the same fault plan, partition and crash
+/// window at the same transfer indices) around a caller-supplied transfer.
+/// The transfer returns `Some((elapsed_us, relay_exposure))` on delivery.
+#[allow(clippy::too_many_arguments)]
+fn chaos_phase<F>(
+    base: &Overlay,
+    nodes: &[Id],
+    transfers: usize,
+    loss: u32,
+    seed: u64,
+    metrics: &Registry,
+    rng: &mut StdRng,
+    mut xfer: F,
+) -> PhaseStats
+where
+    F: FnMut(
+        &mut Overlay,
+        &mut ReplicaStore<Tha>,
+        &mut NetDriver<UniformLatency>,
+        &mut StdRng,
+    ) -> Option<(u64, f64)>,
+{
+    let mut overlay = base.clone();
+    overlay.use_metrics(metrics.clone());
+    let mut net: Network<u64, UniformLatency> = Network::new(
+        NetworkConfig::paper_defaults(),
+        UniformLatency::paper(seed ^ 0x1a7e),
+    );
+    net.use_metrics(metrics.clone());
+    let mut driver = NetDriver::new(net);
+    driver.use_instruments(CoreInstruments::new(metrics));
+
+    let eps: Vec<EndpointId> = nodes.iter().map(|&id| driver.register(id)).collect();
+    let mut thas: ReplicaStore<Tha> = ReplicaStore::new(3);
+    thas.use_metrics(metrics.clone());
+
+    if loss > 0 {
+        driver.network_mut().install_faults(
+            FaultPlan::new(seed)
+                .with_loss(loss)
+                .with_duplication(loss / 5)
+                .with_jitter(SimDuration::from_millis(50))
+                .with_spike(loss / 10, SimDuration::from_millis(500)),
+        );
+    }
+
+    let cut_a: Vec<EndpointId> = eps.iter().copied().step_by(20).collect();
+    let cut_b: Vec<EndpointId> = eps
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 20 != 0)
+        .map(|(_, e)| *e)
+        .collect();
+    let crashed: Vec<Id> = nodes.iter().copied().skip(7).step_by(50).collect();
+    let window = (transfers / 3, 2 * transfers / 3);
+
+    let mut stats = PhaseStats::default();
+    for t in 0..transfers {
+        if loss > 0 && t == window.0 {
+            driver.network_mut().partition("sweep-cut", &cut_a, &cut_b);
+            for &id in &crashed {
+                driver.kill_node(id);
+            }
+        }
+        if loss > 0 && t == window.1 {
+            driver.network_mut().heal("sweep-cut");
+            for &id in &crashed {
+                driver.revive_node(id);
+            }
+        }
+        if let Some((us, exposure)) = xfer(&mut overlay, &mut thas, &mut driver, rng) {
+            stats.delivered += 1;
+            stats.latencies_us.push(us);
+            stats.exposure_sum += exposure;
+        }
+    }
+    stats
+}
+
+/// One coded `(n, k)` multipath transfer between random nodes: deploy an
+/// anchor pool, form up to `n` disjoint tunnels (degrading explicitly when
+/// the pool runs short), stripe the payload across them, reconstruct from
+/// the first `k` fragments. `Some((elapsed_us, exposure))` iff delivered,
+/// where exposure = max stripes any relay carried / stripes launched.
+#[allow(clippy::too_many_arguments)]
+fn mp_transfer_once(
+    overlay: &mut Overlay,
+    thas: &mut ReplicaStore<Tha>,
+    driver: &mut NetDriver<UniformLatency>,
+    rng: &mut StdRng,
+    payload: &[u8],
+    n: usize,
+    k: usize,
+    instruments: &CoreInstruments,
+) -> Option<(u64, f64)> {
+    let initiator = overlay.random_node(rng).expect("non-empty overlay");
+    let mut factory = ThaFactory::new(rng, initiator);
+    let mut anchors = Vec::with_capacity(2 * n * TUNNEL_LENGTH);
+    while anchors.len() < 2 * n * TUNNEL_LENGTH {
+        let s = factory.next(rng);
+        if thas
+            .insert(overlay, s.hopid, s.stored())
+            .expect("overlay never empties mid-sweep")
+        {
+            anchors.push(s);
+        }
+    }
+    let tunnels = form_disjoint_tunnels(rng, &anchors, n, TUNNEL_LENGTH, SCATTER_B);
+    let mut hints = HintCache::default();
+    let hop_ids: Vec<Id> = tunnels.iter().flat_map(|t| t.hop_ids()).collect();
+    hints.refresh(overlay, &hop_ids);
+
+    let dest = loop {
+        let d = overlay.random_node(rng).expect("non-empty overlay");
+        if d != initiator {
+            break d;
+        }
+    };
+    let outcome = send_striped(
+        driver,
+        overlay,
+        thas,
+        rng,
+        initiator,
+        dest,
+        &tunnels,
+        payload,
+        MultipathConfig::new(n as u8, k as u8),
+        TransitOptions {
+            use_hints: true,
+            retry_budget: RETRY_BUDGET,
+        },
+        Some(&mut hints),
+        Some(instruments),
+    );
+    for s in &anchors {
+        thas.remove(s.hopid);
+    }
+    match outcome {
+        Ok(out) => {
+            let exposure = if out.report.stripes_total > 0 {
+                f64::from(out.report.max_stripes_per_relay) / out.report.stripes_total as f64
+            } else {
+                1.0
+            };
+            Some((out.report.elapsed.as_micros(), exposure))
+        }
+        Err(MultipathError::Transit(TransitError::StripesExhausted { .. })) => None,
+        // Anything else (no tunnels, decode failure, unexpected transit
+        // error) is a harness bug, not an injected fault.
+        Err(e) => panic!("unexpected multipath failure under faults: {e:?}"),
     }
 }
 
@@ -302,6 +603,91 @@ mod tests {
                 giveups[i]
             );
         }
+    }
+
+    fn tiny_mp() -> Scale {
+        Scale {
+            mp_n: 5,
+            mp_k: 3,
+            fault_permille: 100,
+            // A wider sample than the classic test: the coded-vs-retry
+            // delivery gap at one loss point is a few percent, which 24
+            // transfers cannot resolve above binomial noise.
+            latency_sims: 2,
+            latency_transfers: 48,
+            ..tiny()
+        }
+    }
+
+    #[test]
+    fn multipath_mode_beats_single_path_retry_under_chaos() {
+        let s = run(&tiny_mp());
+        let sp_d = s.column("sp_delivered_frac").unwrap();
+        let mp_d = s.column("mp_delivered_frac").unwrap();
+        let sp_p99 = s.column("sp_p99_ms").unwrap();
+        let mp_p99 = s.column("mp_p99_ms").unwrap();
+        let sp_expo = s.column("sp_relay_exposure").unwrap();
+        let mp_expo = s.column("mp_relay_exposure").unwrap();
+
+        // Row 0 is the fault-free control: both modes deliver everything.
+        assert_eq!(s.rows[0].x, 0.0);
+        assert_eq!(sp_d[0], 1.0);
+        assert_eq!(mp_d[0], 1.0);
+
+        // Disjoint stripes mean no relay ever carries the whole transfer;
+        // a single-path relay always does.
+        for i in 0..s.rows.len() {
+            if sp_d[i] > 0.0 {
+                assert_eq!(sp_expo[i], 1.0, "row {i}");
+            }
+            if mp_d[i] > 0.0 {
+                assert!(mp_expo[i] < 1.0, "row {i}: exposure {}", mp_expo[i]);
+            }
+        }
+
+        // The acceptance row: at the reference fault level (100 permille
+        // loss plus the partition/crash window) coding must deliver
+        // strictly more, strictly faster at the tail.
+        let center = s
+            .rows
+            .iter()
+            .position(|r| r.x == 100.0)
+            .expect("center point present");
+        assert!(
+            mp_d[center] > sp_d[center],
+            "coded multipath must out-deliver single-path retry: mp {} vs sp {}",
+            mp_d[center],
+            sp_d[center]
+        );
+        assert!(
+            mp_p99[center] < sp_p99[center],
+            "coded multipath must cut the tail: mp {} ms vs sp {} ms",
+            mp_p99[center],
+            sp_p99[center]
+        );
+
+        // The gate-worthy numbers surface as bench extras.
+        let extra = |key: &str| {
+            s.bench_extras
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing bench extra {key}"))
+        };
+        assert_eq!(extra("mp_delivered_frac"), mp_d[center]);
+        assert_eq!(extra("sp_delivered_frac"), sp_d[center]);
+        assert_eq!(extra("mp_p99_ms"), mp_p99[center]);
+        assert_eq!(extra("sp_p99_ms"), sp_p99[center]);
+    }
+
+    #[test]
+    fn multipath_off_keeps_the_classic_columns() {
+        let s = run(&tiny());
+        assert_eq!(
+            s.columns,
+            vec!["delivered_frac", "retries_per_xfer", "giveups_per_xfer"],
+            "mp_n = 0 must leave the classic sweep untouched"
+        );
     }
 
     #[test]

@@ -75,6 +75,15 @@ pub struct Scale {
     /// byte-identical at any value; only `min(shards, threads)` cores can
     /// be busy at once. Set from the CLI with `--shards N`.
     pub shards: usize,
+    /// Multipath stripe count for the resilience figure: `0` (the default)
+    /// keeps the classic single-path sweep and its CSV byte-identical;
+    /// `n > 0` switches the figure to the erasure-coded comparison mode
+    /// (coded `n`/`mp_k` multipath vs. single-path retry at the same fault
+    /// level). Set from the CLI with `--multipath N/K`.
+    pub mp_n: usize,
+    /// Fragments required to reconstruct a multipath transfer (the code's
+    /// `k`); only meaningful when `mp_n > 0`.
+    pub mp_k: usize,
 }
 
 impl Scale {
@@ -96,6 +105,8 @@ impl Scale {
             fault_permille: 100,
             threads: 1,
             shards: 0,
+            mp_n: 0,
+            mp_k: 0,
         }
     }
 
@@ -116,6 +127,8 @@ impl Scale {
             fault_permille: 100,
             threads: 1,
             shards: 0,
+            mp_n: 0,
+            mp_k: 0,
         }
     }
 

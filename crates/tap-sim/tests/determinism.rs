@@ -4,7 +4,7 @@
 //! must never leak into the numbers it produces.
 
 use tap_sim::experiments::{
-    churn, collusion, latency, node_failures, secure_routing, sweeps, throughput,
+    churn, collusion, latency, node_failures, resilience, secure_routing, sweeps, throughput,
 };
 use tap_sim::{Scale, Series};
 
@@ -139,6 +139,29 @@ fn quick_preset_csvs_match_the_pre_port_goldens() {
         assert_eq!(
             golden, got,
             "{name}: quick-preset CSV diverged from the pre-port golden"
+        );
+    }
+}
+
+#[test]
+fn resilience_multipath_csv_is_byte_identical_across_thread_counts() {
+    // The coded-multipath comparison runs two phases per trial off the same
+    // per-trial substream; neither phase's RNG may leak across trials, so
+    // the sweep's CSV holds the byte-identity contract like every figure.
+    let mp = Scale {
+        mp_n: 5,
+        mp_k: 3,
+        fault_permille: 100,
+        latency_sims: 1,
+        latency_transfers: 12,
+        ..tiny()
+    };
+    let sequential = resilience::run(&mp.with_threads(1)).to_csv();
+    for threads in [2, 4] {
+        let parallel = resilience::run(&mp.with_threads(threads)).to_csv();
+        assert_eq!(
+            sequential, parallel,
+            "resilience --multipath 5/3: CSV diverged between --threads 1 and --threads {threads}"
         );
     }
 }

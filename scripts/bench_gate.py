@@ -11,7 +11,12 @@ its per-figure RSS increment (`rss_delta_mb`, the VmHWM growth the
 figure is responsible for) — than the best committed record with the same configuration
 (preset, nodes, tunnels, seed, threads). Rate-style fields run the other
 direction: a figure carrying `events_per_sec` (the throughput figure)
-must sustain at least the best committed rate / THROUGHPUT_FACTOR. Figures with no comparable
+must sustain at least the best committed rate / THROUGHPUT_FACTOR, and a
+figure carrying delivery fractions (`sp_delivered_frac` /
+`mp_delivered_frac`, recorded by the resilience figures at their
+reference fault permille) must stay within DELIVERED_FRAC_SLACK of the
+best committed fraction — a robustness regression gates exactly like a
+perf one. Figures with no comparable
 committed baseline — e.g. a figure added in the PR under test — are
 reported on stderr and skipped, so the gate never blocks new experiments.
 
@@ -32,6 +37,12 @@ ABSOLUTE_SLACK_MB = 50.0
 # Floor for rate-style figure fields (events_per_sec): the fresh run must
 # sustain at least best-committed / THROUGHPUT_FACTOR.
 THROUGHPUT_FACTOR = 2.0
+# Quality floor for the resilience figures' delivery fractions (recorded
+# at the sweep's reference fault permille): the fresh run must deliver at
+# least the best committed fraction minus this absolute slack. Fractions
+# live in [0, 1], so a ratio-style factor would be meaningless near 1.0.
+DELIVERED_FRAC_FIELDS = ("sp_delivered_frac", "mp_delivered_frac")
+DELIVERED_FRAC_SLACK = 0.05
 
 
 def load_trajectory(path, role):
@@ -120,6 +131,7 @@ def main():
     wall_baseline = best_metric(committed, key, "wall_s")
     rss_baseline = best_metric(committed, key, "rss_delta_mb")
     eps_baseline = peak_metric(committed, key, "events_per_sec")
+    frac_baseline = {f: peak_metric(committed, key, f) for f in DELIVERED_FRAC_FIELDS}
     if not wall_baseline:
         print(
             f"bench_gate: note: no committed record matches config {key}; "
@@ -160,6 +172,24 @@ def main():
         elif eps is not None:
             skipped.append((name, "no committed events_per_sec baseline at this config"))
 
+        for field in DELIVERED_FRAC_FIELDS:
+            frac = fig.get(field)
+            if frac is None:
+                continue
+            if name not in frac_baseline[field]:
+                skipped.append((name, f"no committed {field} baseline at this config"))
+                continue
+            frac = float(frac)
+            frac_base = frac_baseline[field][name]
+            floor = frac_base - DELIVERED_FRAC_SLACK
+            verdict = "FAIL" if frac < floor else "ok"
+            print(
+                f"{verdict:>4}  {name:<12} {frac:8.3f} {field} "
+                f"(baseline {frac_base:.3f}, floor {floor:.3f})"
+            )
+            if frac < floor:
+                failures.append(f"{name} ({field})")
+
         rss = fig.get("rss_delta_mb")
         if rss is None or name not in rss_baseline:
             if rss is None:
@@ -184,7 +214,8 @@ def main():
     if failures:
         sys.exit(
             f"bench_gate: regression beyond {REGRESSION_FACTOR}x wall / "
-            f"{MEMORY_FACTOR}x rss / {THROUGHPUT_FACTOR}x events-per-sec floor "
+            f"{MEMORY_FACTOR}x rss / {THROUGHPUT_FACTOR}x events-per-sec floor / "
+            f"{DELIVERED_FRAC_SLACK} delivered-frac slack "
             f"in: {', '.join(failures)}"
         )
     print("bench_gate: no figure regressed beyond the thresholds")

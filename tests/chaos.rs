@@ -11,6 +11,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use tap_core::metrics::CoreInstruments;
+use tap_core::multipath::{form_disjoint_tunnels, send_striped, MultipathConfig};
 use tap_core::netdrive::NetDriver;
 use tap_core::retrieval::{self, RetrievalContext, RetrievalError, StoredFile};
 use tap_core::tha::{Tha, ThaFactory};
@@ -242,6 +243,164 @@ fn chaos_replays_byte_identically_from_its_seed() {
         a.losses, c.losses,
         "a different seed draws a different fault stream"
     );
+}
+
+/// The per-run outcome of the multipath chaos scenario, for seed replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct MpChaosOutcome {
+    payload_intact: bool,
+    stripes_delivered: usize,
+    stripes_failed: usize,
+    laggards_cancelled: usize,
+    corrupt_fragments: usize,
+    stripe_giveups: u64,
+    transfer_giveups: u64,
+    losses: u64,
+    crashes: u64,
+    timer_lag_max_us: u64,
+}
+
+/// One erasure-coded 5/3 multipath transfer under 10% per-link loss, with
+/// the wire bisecting the stripe set *mid-transfer*: every endpoint
+/// serving a tunnel hop of stripes 0 and 1 crashes 100 ms (virtual) after
+/// the fragments launch — while they are in flight — severing two of the
+/// five disjoint tunnels from the rest of the network.
+fn run_mp_chaos(seed: u64) -> MpChaosOutcome {
+    let registry = Registry::new();
+    registry.install_journal(256);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut overlay = Overlay::new(PastryConfig::paper_defaults());
+    overlay.use_metrics(registry.clone());
+    let mut net: Network<u64, UniformLatency> = Network::new(
+        NetworkConfig::paper_defaults(),
+        UniformLatency::paper(seed ^ 0x3a9),
+    );
+    net.use_metrics(registry.clone());
+    let mut driver = NetDriver::new(net);
+    driver.use_instruments(CoreInstruments::new(&registry));
+
+    let mut ep_of = std::collections::HashMap::new();
+    for _ in 0..NODES {
+        let id = overlay.add_random_node(&mut rng);
+        ep_of.insert(id, driver.register(id));
+    }
+    let mut thas: ReplicaStore<Tha> = ReplicaStore::new(3);
+    thas.use_metrics(registry.clone());
+
+    let initiator = overlay.random_node(&mut rng).expect("non-empty overlay");
+    let mut factory = ThaFactory::new(&mut rng, initiator);
+    let mut pool = Vec::new();
+    while pool.len() < 30 {
+        let s = factory.next(&mut rng);
+        if thas
+            .insert(&overlay, s.hopid, s.stored())
+            .expect("overlay never empties")
+        {
+            pool.push(s);
+        }
+    }
+    let tunnels = form_disjoint_tunnels(&mut rng, &pool, 5, 3, 4);
+    assert_eq!(tunnels.len(), 5, "the pool supports a full stripe set");
+
+    // 10% loss everywhere, plus the mid-transfer bisection: the serving
+    // endpoints of stripes 0 and 1 drop off the wire at t = 100 ms, when
+    // their fragments are in flight, and come back long after the
+    // surviving stripes have decided the transfer.
+    let mut plan = FaultPlan::new(seed).with_loss(LOSS_PERMILLE);
+    for t in &tunnels[..2] {
+        for hopid in t.hop_ids() {
+            let root = overlay.owner_of(hopid).expect("non-empty overlay");
+            let ep = ep_of[&root];
+            plan = plan
+                .with_crash(ep, SimTime::ZERO + SimDuration::from_millis(100))
+                .with_restart(ep, SimTime::ZERO + SimDuration::from_millis(600_000));
+        }
+    }
+    driver.network_mut().install_faults(plan);
+
+    let mut hints = HintCache::default();
+    let hop_ids: Vec<Id> = tunnels.iter().flat_map(|t| t.hop_ids()).collect();
+    hints.refresh(&overlay, &hop_ids);
+    let dest = loop {
+        let d = overlay.random_node(&mut rng).expect("non-empty overlay");
+        if d != initiator {
+            break d;
+        }
+    };
+    let payload: Vec<u8> = (0..9216).map(|i| (i * 131 + 7) as u8).collect();
+
+    let out = send_striped(
+        &mut driver,
+        &mut overlay,
+        &thas,
+        &mut rng,
+        initiator,
+        dest,
+        &tunnels,
+        &payload,
+        MultipathConfig::default(),
+        TransitOptions {
+            use_hints: true,
+            retry_budget: RETRY_BUDGET,
+        },
+        Some(&mut hints),
+        Some(&CoreInstruments::new(&registry)),
+    )
+    .expect("the surviving stripes must carry the transfer");
+
+    // Drain whatever the laggard stripes left on the wire: their cancelled
+    // watchdogs must never fire, so `netsim.timer_lag_us` stays clean.
+    while driver.network_mut().next_event().is_some() {}
+
+    let snap = registry.snapshot();
+    MpChaosOutcome {
+        payload_intact: out.payload == payload,
+        stripes_delivered: out.report.stripes_delivered,
+        stripes_failed: out.report.stripes_failed,
+        laggards_cancelled: out.report.laggards_cancelled,
+        corrupt_fragments: out.corrupt_fragments,
+        stripe_giveups: snap.counter("core.mp.stripe_giveups"),
+        transfer_giveups: snap.counter("core.transit.giveups"),
+        losses: snap.counter("netsim.fault.losses"),
+        crashes: snap.counter("netsim.fault.crashes"),
+        timer_lag_max_us: snap.histogram("netsim.timer_lag_us").map_or(0, |h| h.max),
+    }
+}
+
+#[test]
+fn multipath_transfer_survives_a_mid_transfer_stripe_bisection() {
+    let o = run_mp_chaos(0x5713);
+
+    // The bisection actually fired, mid-flight, and severed both stripes.
+    assert!(o.crashes > 0, "the bisection window never fired");
+    assert!(o.losses > 0, "loss injection never fired");
+
+    // Delivery came from the surviving k: the payload reconstructed
+    // byte-identically from exactly `k` fragments, while the two bisected
+    // stripes ended as clean failures or cancelled laggards — never as a
+    // transfer give-up, never as a panic.
+    assert!(o.payload_intact, "reconstruction must be byte-identical");
+    assert_eq!(o.stripes_delivered, 3, "exactly k fragments decide it");
+    assert_eq!(o.corrupt_fragments, 0);
+    assert_eq!(
+        o.stripes_failed + o.laggards_cancelled,
+        2,
+        "both bisected stripes must be accounted: {o:?}"
+    );
+    assert_eq!(o.stripe_giveups, o.stripes_failed as u64);
+    assert_eq!(o.transfer_giveups, 0, "the transfer itself succeeded");
+
+    // Satellite invariant: cancelled laggard watchdogs never surface, so
+    // the timer-lag histogram stays at zero through the post-run drain.
+    assert_eq!(o.timer_lag_max_us, 0, "spent timers must not fire late");
+}
+
+#[test]
+fn multipath_chaos_replays_byte_identically_from_its_seed() {
+    let a = run_mp_chaos(0x5713);
+    let b = run_mp_chaos(0x5713);
+    assert_eq!(a, b, "same seed, same bisection, same outcome");
 }
 
 #[test]
