@@ -14,7 +14,8 @@ use tap_metrics::{Counter, Histogram, Registry};
 /// Metric names recorded by tap-core.
 ///
 /// * `core.onion.wrap_us` — histogram, wall-clock microseconds to seal one
-///   onion layer (encrypt side).
+///   complete onion (encrypt side; the fused codec applies every layer's
+///   keystream in one pass, so the sample covers all layers).
 /// * `core.onion.peel_us` — histogram, wall-clock microseconds to open one
 ///   onion layer (decrypt side, recorded per hop during transit).
 /// * `core.transit.retries` — counter, direct-address (§5 hint) attempts

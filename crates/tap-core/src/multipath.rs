@@ -199,14 +199,22 @@ pub fn send_striped<L: LatencyModel, R: Rng + ?Sized>(
 
     let fragments = code.encode(payload)?;
     debug_assert_eq!(fragments.len(), used);
+    // One reusable builder for all stripes: after the first stripe warms
+    // it, each remaining onion costs the fused cipher pass plus exactly
+    // one exact-size output copy.
+    let mut builder = tap_crypto::onion::OnionBuilder::new();
     let stripes: Vec<(Id, Vec<u8>)> = tunnels[..used]
         .iter()
         .zip(&fragments)
         .map(|(t, frag)| {
-            (
-                t.entry_hopid(),
-                t.build_onion(rng, Destination::Node(dest), frag, hints.as_deref()),
-            )
+            t.build_onion_into(
+                rng,
+                Destination::Node(dest),
+                frag,
+                hints.as_deref(),
+                &mut builder,
+            );
+            (t.entry_hopid(), builder.as_bytes().to_vec())
         })
         .collect();
 

@@ -137,8 +137,50 @@ impl Tunnel {
         hints: Option<&HintCache>,
         instruments: Option<&CoreInstruments>,
     ) -> Vec<u8> {
-        let layers: Vec<_> = self
-            .hops
+        let layers = self.layer_specs(dest, hints);
+        match instruments {
+            None => tap_crypto::onion::wrap(rng, &layers, core),
+            Some(ins) => {
+                // The fused single-pass seal — identical bytes and RNG use
+                // to `wrap`. All layers are applied in one sweep, so the
+                // timeable unit is the whole onion: one sample per build
+                // (the old per-layer samples summed to the same wall time).
+                let t0 = std::time::Instant::now();
+                let mut b = tap_crypto::onion::OnionBuilder::new();
+                b.seal(rng, &layers, core);
+                ins.onion_wrap_us.record(t0.elapsed().as_micros() as u64);
+                b.into_vec()
+            }
+        }
+    }
+
+    /// [`Tunnel::build_onion`] into a caller-owned reusable builder: the
+    /// sealed onion lands in `builder` (read it back with
+    /// [`tap_crypto::onion::OnionBuilder::as_bytes`]) and a warmed builder
+    /// allocates nothing. Bytes and RNG use match [`Tunnel::build_onion`]
+    /// exactly — multipath stripes use this to amortize the onion buffer
+    /// and cipher scratch across a whole transfer.
+    pub fn build_onion_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        dest: Destination,
+        core: &[u8],
+        hints: Option<&HintCache>,
+        builder: &mut tap_crypto::onion::OnionBuilder,
+    ) {
+        let layers = self.layer_specs(dest, hints);
+        builder.seal(rng, &layers, core);
+    }
+
+    /// The `(key, encoded header)` list for each hop, outermost first:
+    /// layer `i` tells hop `i` where hop `i+1` is anchored, the innermost
+    /// layer delivers to `dest`.
+    fn layer_specs(
+        &self,
+        dest: Destination,
+        hints: Option<&HintCache>,
+    ) -> Vec<(tap_crypto::cipher::SymmetricKey, Vec<u8>)> {
+        self.hops
             .iter()
             .enumerate()
             .map(|(i, hop)| {
@@ -153,27 +195,7 @@ impl Tunnel {
                 };
                 (hop.key, header.encode())
             })
-            .collect();
-        match instruments {
-            None => tap_crypto::onion::wrap(rng, &layers, core),
-            Some(ins) => {
-                // Same in-place builder as `wrap`, one layer per call so
-                // each seal is timeable; the bytes and RNG use are
-                // identical either way.
-                let margin: usize = layers
-                    .iter()
-                    .map(|(_, h)| tap_crypto::onion::LAYER_MARGIN + h.len())
-                    .sum();
-                let mut b =
-                    tap_crypto::onion::OnionBuilder::with_margin(core, margin, layers.len());
-                for (key, header) in layers.iter().rev() {
-                    let t0 = std::time::Instant::now();
-                    b.add_layer(rng, key, header);
-                    ins.onion_wrap_us.record(t0.elapsed().as_micros() as u64);
-                }
-                b.into_vec()
-            }
-        }
+            .collect()
     }
 }
 

@@ -72,7 +72,11 @@ impl SymmetricKey {
         &self.0
     }
 
-    fn subkeys(&self) -> ([u8; KEY_LEN], [u8; KEY_LEN]) {
+    /// The (encrypt, MAC) subkey split every sealed message uses. Exposed
+    /// to the crate so the fused onion codec can run the same cipher and
+    /// MAC streams incrementally; the bytes on the wire stay exactly
+    /// those of [`SymmetricKey::seal_in_place`].
+    pub(crate) fn subkeys(&self) -> ([u8; KEY_LEN], [u8; KEY_LEN]) {
         (
             derive_key(&self.0, "tap.enc", 0),
             derive_key(&self.0, "tap.mac", 0),

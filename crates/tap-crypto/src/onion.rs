@@ -13,8 +13,9 @@
 
 use rand::Rng;
 
-use crate::chacha20::NONCE_LEN;
+use crate::chacha20::{KeystreamCursor, NONCE_LEN};
 use crate::cipher::{CipherError, SymmetricKey, TAG_LEN};
+use crate::hmac::HmacSha256;
 
 /// Framing prefix: a big-endian `u32` header length.
 const LEN_PREFIX: usize = 4;
@@ -75,32 +76,67 @@ pub fn wrap<R: Rng + ?Sized>(
     layers: &[(SymmetricKey, Vec<u8>)],
     core: &[u8],
 ) -> Vec<u8> {
-    assert!(!layers.is_empty(), "an onion needs at least one layer");
-    let margin: usize = layers.iter().map(|(_, h)| LAYER_MARGIN + h.len()).sum();
-    let mut b = OnionBuilder::with_margin(core, margin, layers.len());
-    for (key, header) in layers.iter().rev() {
-        b.add_layer(rng, key, header);
-    }
+    let mut b = OnionBuilder::new();
+    b.seal(rng, layers, core);
     b.into_vec()
 }
 
-/// Builds an onion in one buffer, growing outward from the core: every
-/// [`OnionBuilder::add_layer`] writes the frame prefix and header in front
-/// of the current region, seals it in place ([`SymmetricKey::seal_in_place`]),
-/// and extends the region by exactly the layer overhead — no per-layer
-/// allocation, and byte-for-byte the output of the allocating [`wrap`] at
-/// the same RNG position.
+/// Builds an onion in one buffer, two ways:
 ///
-/// Layers are added **innermost first** (the reverse of [`wrap`]'s argument
-/// order), which is also the order the initiator's per-layer timing wants.
-#[derive(Debug)]
+/// * [`OnionBuilder::seal`] — the fused codec: the whole layout is written
+///   as plaintext first, then **one** left-to-right pass applies all `l`
+///   layers' keystreams chunk by chunk (each layer a [`KeystreamCursor`],
+///   each MAC a streaming [`HmacSha256`]), instead of the layered builder's
+///   `l` full-buffer cipher sweeps. Headers, nonce draws and tags are
+///   byte-for-byte those of the layered path at the same RNG position.
+/// * [`OnionBuilder::add_layer`] — the layered path, one seal per call
+///   ([`SymmetricKey::seal_in_place`]); kept as the timeable and testable
+///   reference the fused pass is pinned against.
+///
+/// `add_layer` adds layers **innermost first** (the reverse of [`wrap`]'s
+/// argument order). A builder is reusable across transfers: every buffer —
+/// the onion itself and the per-layer cursor/MAC scratch — retains its
+/// capacity, so steady-state sealing allocates nothing.
 pub struct OnionBuilder {
     buf: Vec<u8>,
     start: usize,
     end: usize,
+    // Fused-seal scratch, reused across `seal` calls.
+    layer_starts: Vec<usize>,
+    cursors: Vec<KeystreamCursor>,
+    macs: Vec<Option<HmacSha256>>,
+}
+
+impl std::fmt::Debug for OnionBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The scratch holds key-derived cipher states; print only shape.
+        f.debug_struct("OnionBuilder")
+            .field("len", &(self.end - self.start))
+            .field("layers", &self.layer_starts.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for OnionBuilder {
+    fn default() -> Self {
+        OnionBuilder::new()
+    }
 }
 
 impl OnionBuilder {
+    /// An empty builder; [`OnionBuilder::seal`] it per transfer, or start
+    /// layering from [`OnionBuilder::with_margin`].
+    pub fn new() -> OnionBuilder {
+        OnionBuilder {
+            buf: Vec::new(),
+            start: 0,
+            end: 0,
+            layer_starts: Vec::new(),
+            cursors: Vec::new(),
+            macs: Vec::new(),
+        }
+    }
+
     /// Start from the innermost payload, reserving `margin` front bytes —
     /// enough when it is ≥ Σ per-layer `NONCE_LEN + LEN_PREFIX + header.len()`
     /// (the builder regrows if an `add_layer` outruns the reservation).
@@ -112,6 +148,131 @@ impl OnionBuilder {
             buf,
             start: margin,
             end: margin + core.len(),
+            layer_starts: Vec::new(),
+            cursors: Vec::new(),
+            macs: Vec::new(),
+        }
+    }
+
+    /// Seal a complete onion in one fused pass, replacing the builder's
+    /// previous contents. `layers` is ordered outermost first, as in
+    /// [`wrap`].
+    ///
+    /// Correctness sketch: layer `i`'s ciphertext body is the buffer
+    /// region `(s_i + 12) .. (e_i − 16)`, and bodies nest — so walking the
+    /// buffer left to right, every chunk's final bytes are
+    /// `plain ⊕ ks_c ⊕ … ⊕ ks_0` for the `c+1` layers covering it, and
+    /// each *intermediate* value in that chain (innermost keystream first)
+    /// is exactly what layer `j`'s MAC saw in the layered build. Chaining
+    /// in place and feeding each layer's streaming MAC as its keystream is
+    /// applied therefore reproduces every tag; tags land innermost-first
+    /// at the buffer tail, so each MAC completes precisely when the sweep
+    /// reaches its tag slot, and the freshly written tag bytes then chain
+    /// through the remaining outer layers like any other plaintext.
+    /// Per-layer keystream consumption is strictly left-to-right over a
+    /// contiguous body, which is what lets one [`KeystreamCursor`] per
+    /// layer feed the whole pass from the wide block kernel.
+    pub fn seal<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        layers: &[(SymmetricKey, Vec<u8>)],
+        core: &[u8],
+    ) {
+        assert!(!layers.is_empty(), "an onion needs at least one layer");
+        let l = layers.len();
+        let mut total = core.len() + l * TAG_LEN;
+        for (_, h) in layers {
+            total += LAYER_MARGIN + h.len();
+        }
+        self.buf.clear();
+        self.buf.resize(total, 0);
+        self.start = 0;
+        self.end = total;
+        self.layer_starts.clear();
+        self.cursors.clear();
+        self.macs.clear();
+
+        // Plaintext skeleton: per-layer frame prefix + header, then core.
+        let mut pos = 0;
+        for (_, h) in layers {
+            self.layer_starts.push(pos);
+            let fs = pos + NONCE_LEN;
+            self.buf[fs..fs + LEN_PREFIX].copy_from_slice(&(h.len() as u32).to_be_bytes());
+            self.buf[fs + LEN_PREFIX..fs + LEN_PREFIX + h.len()].copy_from_slice(h);
+            pos += LAYER_MARGIN + h.len();
+        }
+        let core_start = pos;
+        self.buf[core_start..core_start + core.len()].copy_from_slice(core);
+
+        // Nonces innermost first — the layered builder's exact RNG draw
+        // order, one 12-byte fill per layer.
+        for i in (0..l).rev() {
+            let s = self.layer_starts[i];
+            rng.fill(&mut self.buf[s..s + NONCE_LEN]);
+        }
+
+        // Per-layer streaming cipher and MAC states.
+        for (i, (key, _)) in layers.iter().enumerate() {
+            let (enc_key, mac_key) = key.subkeys();
+            let s = self.layer_starts[i];
+            let mut nonce = [0u8; NONCE_LEN];
+            nonce.copy_from_slice(&self.buf[s..s + NONCE_LEN]);
+            self.cursors.push(KeystreamCursor::new(&enc_key, &nonce, 1));
+            self.macs.push(Some(HmacSha256::new(&mac_key)));
+        }
+
+        /// XOR the keystreams of layers `depth-1 .. 0` (innermost covering
+        /// layer outward) into `buf[range]` in place, feeding each
+        /// intermediate state to that layer's MAC.
+        fn chain(
+            buf: &mut [u8],
+            range: std::ops::Range<usize>,
+            cursors: &mut [KeystreamCursor],
+            macs: &mut [Option<HmacSha256>],
+            depth: usize,
+        ) {
+            for j in (0..depth).rev() {
+                cursors[j].xor_into(&mut buf[range.clone()]);
+                macs[j]
+                    .as_mut()
+                    .expect("outer MACs outlive inner tag slots")
+                    .update(&buf[range.clone()]);
+            }
+        }
+
+        let OnionBuilder {
+            buf,
+            layer_starts,
+            cursors,
+            macs,
+            ..
+        } = self;
+
+        // The single pass. Layer i's nonce is MACed raw by layer i and
+        // encrypted by layers 0..i; its frame is encrypted by 0..=i.
+        for i in 0..l {
+            let s = layer_starts[i];
+            macs[i]
+                .as_mut()
+                .expect("MACs finalize only at their tag slot")
+                .update(&buf[s..s + NONCE_LEN]);
+            chain(buf, s..s + NONCE_LEN, cursors, macs, i);
+            let frame_end = if i + 1 < l {
+                layer_starts[i + 1]
+            } else {
+                core_start
+            };
+            chain(buf, s + NONCE_LEN..frame_end, cursors, macs, i + 1);
+        }
+        chain(buf, core_start..core_start + core.len(), cursors, macs, l);
+        // Tags, innermost outward: MAC i has consumed exactly
+        // [s_i, e_i − 16) when the sweep reaches its slot.
+        let mut at = core_start + core.len();
+        for i in (0..l).rev() {
+            let tag = macs[i].take().expect("each MAC finalizes once").finalize();
+            buf[at..at + TAG_LEN].copy_from_slice(&tag[..TAG_LEN]);
+            chain(buf, at..at + TAG_LEN, cursors, macs, i);
+            at += TAG_LEN;
         }
     }
 
@@ -380,6 +541,63 @@ mod tests {
         assert_eq!(onion, inner);
     }
 
+    /// The layered reference path: one [`SymmetricKey::seal_in_place`] full
+    /// sweep per layer, innermost first.
+    fn wrap_layered(rng: &mut StdRng, layers: &[(SymmetricKey, Vec<u8>)], core: &[u8]) -> Vec<u8> {
+        let margin: usize = layers.iter().map(|(_, h)| LAYER_MARGIN + h.len()).sum();
+        let mut b = OnionBuilder::with_margin(core, margin, layers.len());
+        for (key, header) in layers.iter().rev() {
+            b.add_layer(rng, key, header);
+        }
+        b.into_vec()
+    }
+
+    #[test]
+    fn fused_seal_matches_layered_builder() {
+        for l in 1..=7 {
+            let (ks, rng) = keys(l, 20 + l as u64);
+            let layers: Vec<_> = ks
+                .iter()
+                .enumerate()
+                .map(|(i, k)| (*k, vec![0x30 + i as u8; 3 * i + 1]))
+                .collect();
+            let mut a_rng = rng.clone();
+            let mut b_rng = rng;
+            let fused = wrap(&mut a_rng, &layers, b"fused == layered");
+            let layered = wrap_layered(&mut b_rng, &layers, b"fused == layered");
+            assert_eq!(fused, layered, "l={l}");
+            assert_eq!(
+                a_rng.gen::<u64>(),
+                b_rng.gen::<u64>(),
+                "RNG positions must agree after sealing"
+            );
+        }
+    }
+
+    #[test]
+    fn reused_builder_seals_are_independent() {
+        let (ks, mut rng) = keys(5, 30);
+        let mut b = OnionBuilder::new();
+        // Same builder across transfers of different shapes; each onion
+        // must peel as if built fresh.
+        for (round, core) in [&b"first"[..], b"a much longer second core", b""]
+            .iter()
+            .enumerate()
+        {
+            let layers: Vec<_> = ks
+                .iter()
+                .take(2 + round)
+                .enumerate()
+                .map(|(i, k)| (*k, vec![i as u8; 4 + round]))
+                .collect();
+            b.seal(&mut rng, &layers, core);
+            let onion = b.as_bytes().to_vec();
+            let (headers, peeled) = peel_all(&ks[..2 + round], &onion).unwrap();
+            assert_eq!(headers.len(), 2 + round);
+            assert_eq!(peeled, *core, "round {round}");
+        }
+    }
+
     #[test]
     fn layer_buf_peels_match_allocating_peels_and_reuse_is_clean() {
         let (ks, mut rng) = keys(4, 9);
@@ -487,6 +705,27 @@ mod tests {
             let a = wrap(&mut rng, &layers, &[0u8; 64]);
             let b = wrap(&mut rng, &layers, &[1u8; 64]);
             prop_assert_eq!(a.len(), b.len());
+        }
+
+        #[test]
+        fn prop_fused_seal_equals_layered_builder(
+            n in 1usize..8,
+            core in proptest::collection::vec(any::<u8>(), 0..300),
+            headers in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..48), 8),
+            seed in any::<u64>(),
+        ) {
+            let (ks, rng) = keys(n, seed);
+            let layers: Vec<_> = ks
+                .iter()
+                .zip(headers.iter())
+                .map(|(k, h)| (*k, h.clone()))
+                .collect();
+            let mut a_rng = rng.clone();
+            let mut b_rng = rng;
+            let fused = wrap(&mut a_rng, &layers, &core);
+            let layered = wrap_layered(&mut b_rng, &layers, &core);
+            prop_assert_eq!(fused, layered);
+            prop_assert_eq!(a_rng.gen::<u64>(), b_rng.gen::<u64>());
         }
     }
 }

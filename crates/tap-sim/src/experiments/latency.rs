@@ -158,6 +158,51 @@ pub fn run_with_model(scale: &Scale, model: TopologyModel) -> Series {
     }
     series.metrics_json = Some(metrics.snapshot().to_json());
     series
+        .bench_extras
+        .push(("cipher_gbps".into(), measure_cipher_gbps()));
+    series
+}
+
+/// Measured throughput of the fused onion codec — the wire-level kernel
+/// this figure's transfer times stand on. Seals a representative l = 5
+/// onion (40-byte headers, 4 KiB core) from a warmed builder and reports
+/// ciphered GB/s: every layer's keystream covers its whole body, so one
+/// seal ciphers Σᵢ bodyᵢ bytes. Travels as a bench extra (BENCH_sim.json
+/// only — never a figure CSV), where the bench gate holds a floor under
+/// it.
+fn measure_cipher_gbps() -> f64 {
+    use tap_crypto::chacha20::NONCE_LEN;
+    use tap_crypto::cipher::{SymmetricKey, TAG_LEN};
+    use tap_crypto::onion::{OnionBuilder, LAYER_MARGIN};
+
+    const LAYERS: usize = 5;
+    const HEADER: usize = 40;
+    const CORE: usize = 4096;
+    let mut rng = StdRng::seed_from_u64(0xC1BE6B);
+    let layers: Vec<_> = (0..LAYERS)
+        .map(|i| (SymmetricKey::generate(&mut rng), vec![i as u8; HEADER]))
+        .collect();
+    let core = vec![0xA5u8; CORE];
+    let mut b = OnionBuilder::new();
+    b.seal(&mut rng, &layers, &core); // warm the builder and caches
+
+    let total = b.as_bytes().len();
+    let ciphered_per_seal: usize = (0..LAYERS)
+        .map(|i| {
+            let start = i * (LAYER_MARGIN + HEADER);
+            let end = total - i * TAG_LEN;
+            // Layer i ciphers everything between its nonce and its tag.
+            end - start - NONCE_LEN - TAG_LEN
+        })
+        .sum();
+
+    let iters = 2000u32;
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        b.seal(&mut rng, &layers, &core);
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    iters as f64 * ciphered_per_seal as f64 / wall.max(1e-9) / 1e9
 }
 
 /// One simulation over a copy-on-write clone of the shared base overlay:

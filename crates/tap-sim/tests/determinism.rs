@@ -110,37 +110,85 @@ fn heavy_figures_are_byte_identical_across_shard_and_thread_grids() {
     }
 }
 
-/// The committed goldens were produced by the *pre-port* serial loops
-/// (plain `Network` replays, allocating onion path) at the quick preset.
-/// The sharded, in-place implementation must reproduce them exactly.
-/// Quick-preset figures are release-speed; under a debug profile this
-/// test is skipped rather than stalling `cargo test`.
+/// The committed goldens were produced by *pre-optimization* binaries at
+/// the quick preset — fig5/fig6/secure by the pre-port serial loops
+/// (plain `Network` replays, allocating onion path), the rest by the
+/// binary preceding the wide-kernel crypto rewrite (scalar ChaCha20,
+/// per-byte GF(2^8), one cipher sweep per onion layer). Every subsequent
+/// implementation must reproduce them exactly. Quick-preset figures are
+/// release-speed; under a debug profile this test is skipped rather than
+/// stalling `cargo test`.
 #[cfg_attr(
     debug_assertions,
     ignore = "quick-preset goldens are release-speed; run with `cargo test --release`"
 )]
 #[test]
 fn quick_preset_csvs_match_the_pre_port_goldens() {
-    let goldens: [(&str, Figure, &str); 3] = [
+    let goldens: [(&str, Figure, &str); 9] = [
         (
-            "fig5",
-            churn::run as Figure,
-            include_str!("goldens/fig5.csv"),
+            "fig2",
+            node_failures::run as Figure,
+            include_str!("goldens/fig2.csv"),
         ),
+        ("fig3", collusion::run, include_str!("goldens/fig3.csv")),
+        (
+            "fig4a",
+            sweeps::by_replication,
+            include_str!("goldens/fig4a.csv"),
+        ),
+        (
+            "fig4b",
+            sweeps::by_length,
+            include_str!("goldens/fig4b.csv"),
+        ),
+        ("fig5", churn::run, include_str!("goldens/fig5.csv")),
         ("fig6", latency::run, include_str!("goldens/fig6.csv")),
         (
             "secure",
             secure_routing::run,
             include_str!("goldens/secure.csv"),
         ),
+        (
+            "resilience",
+            resilience::run,
+            include_str!("goldens/resilience.csv"),
+        ),
+        (
+            "throughput",
+            throughput::run,
+            include_str!("goldens/throughput.csv"),
+        ),
     ];
     for (name, run, golden) in goldens {
         let got = run(&Scale::quick().with_threads(1)).to_csv();
         assert_eq!(
             golden, got,
-            "{name}: quick-preset CSV diverged from the pre-port golden"
+            "{name}: quick-preset CSV diverged from the pre-optimization golden"
         );
     }
+}
+
+/// The coded-multipath resilience sweep (`resilience --multipath 5/3`)
+/// against its pre-optimization golden: the erasure codec's SWAR
+/// GF(2^8) path and the fused onion codec must leave every striped
+/// transfer's outcome untouched.
+#[cfg_attr(
+    debug_assertions,
+    ignore = "quick-preset goldens are release-speed; run with `cargo test --release`"
+)]
+#[test]
+fn quick_preset_multipath_csv_matches_the_golden() {
+    let scale = Scale {
+        mp_n: 5,
+        mp_k: 3,
+        ..Scale::quick().with_threads(1)
+    };
+    let got = resilience::run(&scale).to_csv();
+    assert_eq!(
+        include_str!("goldens/resilience_mp.csv"),
+        got,
+        "resilience --multipath 5/3: CSV diverged from the pre-optimization golden"
+    );
 }
 
 #[test]

@@ -10,8 +10,9 @@ than REGRESSION_FACTOR slower — or more than MEMORY_FACTOR heavier in
 its per-figure RSS increment (`rss_delta_mb`, the VmHWM growth the
 figure is responsible for) — than the best committed record with the same configuration
 (preset, nodes, tunnels, seed, threads). Rate-style fields run the other
-direction: a figure carrying `events_per_sec` (the throughput figure)
-must sustain at least the best committed rate / THROUGHPUT_FACTOR, and a
+direction: a figure carrying `events_per_sec` (the throughput figure) or
+`cipher_gbps` (fig6's fused onion-codec throughput) must sustain at
+least the best committed rate / THROUGHPUT_FACTOR, and a
 figure carrying delivery fractions (`sp_delivered_frac` /
 `mp_delivered_frac`, recorded by the resilience figures at their
 reference fault permille) must stay within DELIVERED_FRAC_SLACK of the
@@ -34,9 +35,12 @@ REGRESSION_FACTOR = 2.0
 ABSOLUTE_SLACK_S = 0.5
 MEMORY_FACTOR = 2.0
 ABSOLUTE_SLACK_MB = 50.0
-# Floor for rate-style figure fields (events_per_sec): the fresh run must
-# sustain at least best-committed / THROUGHPUT_FACTOR.
+# Floor for rate-style figure fields: the fresh run must sustain at least
+# best-committed / THROUGHPUT_FACTOR. `events_per_sec` is the throughput
+# figure's event rate; `cipher_gbps` is the fused onion codec's measured
+# GB/s (recorded by fig6), gating the crypto kernels themselves.
 THROUGHPUT_FACTOR = 2.0
+RATE_FIELDS = (("events_per_sec", "ev/s", ".0f"), ("cipher_gbps", "GB/s", ".3f"))
 # Quality floor for the resilience figures' delivery fractions (recorded
 # at the sweep's reference fault permille): the fresh run must deliver at
 # least the best committed fraction minus this absolute slack. Fractions
@@ -130,7 +134,7 @@ def main():
     key = config_key(fresh)
     wall_baseline = best_metric(committed, key, "wall_s")
     rss_baseline = best_metric(committed, key, "rss_delta_mb")
-    eps_baseline = peak_metric(committed, key, "events_per_sec")
+    rate_baseline = {f: peak_metric(committed, key, f) for f, _, _ in RATE_FIELDS}
     frac_baseline = {f: peak_metric(committed, key, f) for f in DELIVERED_FRAC_FIELDS}
     if not wall_baseline:
         print(
@@ -157,20 +161,23 @@ def main():
         if wall > limit:
             failures.append(f"{name} (wall)")
 
-        eps = fig.get("events_per_sec")
-        if eps is not None and name in eps_baseline:
-            eps = float(eps)
-            eps_base = eps_baseline[name]
-            eps_floor = eps_base / THROUGHPUT_FACTOR
-            verdict = "FAIL" if eps < eps_floor else "ok"
+        for field, unit, spec in RATE_FIELDS:
+            rate = fig.get(field)
+            if rate is None:
+                continue
+            if name not in rate_baseline[field]:
+                skipped.append((name, f"no committed {field} baseline at this config"))
+                continue
+            rate = float(rate)
+            rate_base = rate_baseline[field][name]
+            rate_floor = rate_base / THROUGHPUT_FACTOR
+            verdict = "FAIL" if rate < rate_floor else "ok"
             print(
-                f"{verdict:>4}  {name:<12} {eps:10.0f} ev/s (baseline {eps_base:.0f}, "
-                f"floor {eps_floor:.0f})"
+                f"{verdict:>4}  {name:<12} {rate:10{spec}} {unit} "
+                f"(baseline {rate_base:{spec}}, floor {rate_floor:{spec}})"
             )
-            if eps < eps_floor:
-                failures.append(f"{name} (events/sec)")
-        elif eps is not None:
-            skipped.append((name, "no committed events_per_sec baseline at this config"))
+            if rate < rate_floor:
+                failures.append(f"{name} ({field})")
 
         for field in DELIVERED_FRAC_FIELDS:
             frac = fig.get(field)
@@ -214,7 +221,7 @@ def main():
     if failures:
         sys.exit(
             f"bench_gate: regression beyond {REGRESSION_FACTOR}x wall / "
-            f"{MEMORY_FACTOR}x rss / {THROUGHPUT_FACTOR}x events-per-sec floor / "
+            f"{MEMORY_FACTOR}x rss / {THROUGHPUT_FACTOR}x rate floor / "
             f"{DELIVERED_FRAC_SLACK} delivered-frac slack "
             f"in: {', '.join(failures)}"
         )
